@@ -1,0 +1,96 @@
+// Command parastack runs one calibrated benchmark under the ParaStack
+// monitor on a simulated platform, optionally injecting a hang, and
+// prints the monitor's verdict — the simulated equivalent of submitting
+// a monitored batch job.
+//
+// Usage:
+//
+//	parastack -bench LU -class D -procs 256 -platform tardis -fault computation
+//	parastack -bench FT -class E -procs 1024 -platform tianhe2 -fault none
+//	parastack -bench HPL -class 8e4 -procs 256 -fault deadlock -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"parastack"
+)
+
+func main() {
+	bench := flag.String("bench", "LU", "benchmark: BT CG FT LU MG SP HPL HPCG")
+	class := flag.String("class", "D", "input class (NPB D/E, HPL 8e4/2e5/…, HPCG 64)")
+	procs := flag.Int("procs", 256, "number of MPI ranks")
+	platform := flag.String("platform", "tardis", "platform: tardis tianhe2 stampede")
+	faultKind := flag.String("fault", "computation", "fault: none computation node deadlock")
+	seed := flag.Int64("seed", 1, "random seed")
+	alpha := flag.Float64("alpha", 0.001, "hang-test significance level (the one user-tunable)")
+	initialI := flag.Duration("interval", 400*time.Millisecond, "initial sampling interval I0")
+	flag.Parse()
+
+	params, err := parastack.LookupWorkload(*bench, *class, *procs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "parastack:", err)
+		os.Exit(2)
+	}
+
+	var kind parastack.FaultKind
+	switch *faultKind {
+	case "none":
+		kind = parastack.NoFault
+	case "computation":
+		kind = parastack.ComputationHang
+	case "node":
+		kind = parastack.NodeFreeze
+	case "deadlock":
+		kind = parastack.CommunicationDeadlock
+	default:
+		fmt.Fprintf(os.Stderr, "parastack: unknown fault kind %q\n", *faultKind)
+		os.Exit(2)
+	}
+
+	fmt.Printf("running %s on %s with %d ranks (fault: %s, seed %d)\n",
+		params.Spec, *platform, *procs, *faultKind, *seed)
+	start := time.Now()
+	res := parastack.Run(parastack.RunConfig{
+		Params:    params,
+		Platform:  parastack.PlatformByName(*platform),
+		Seed:      *seed,
+		FaultKind: kind,
+		Monitor:   &parastack.MonitorConfig{Alpha: *alpha, InitialInterval: *initialI},
+	})
+
+	fmt.Printf("simulated %v of virtual time in %v (%.1fM events)\n",
+		maxDur(res.FinishedAt, res.InjectedAt+res.Delay).Round(time.Millisecond),
+		time.Since(start).Round(time.Millisecond), float64(res.Events)/1e6)
+	if res.Injected {
+		fmt.Printf("fault injected at %v into ranks %v\n", res.InjectedAt.Round(time.Millisecond), res.PlannedFail)
+	}
+	switch {
+	case res.Completed:
+		fmt.Printf("application completed at %v; no hang reported\n", res.FinishedAt.Round(time.Millisecond))
+	case res.Report != nil:
+		rep := res.Report
+		fmt.Printf("HANG VERIFIED at %v (%s)\n", rep.DetectedAt.Round(time.Millisecond), rep.Type)
+		if len(rep.FaultyRanks) > 0 {
+			fmt.Printf("faulty ranks: %v\n", rep.FaultyRanks)
+		}
+		if res.Detected {
+			fmt.Printf("response delay: %v\n", res.Delay.Round(time.Millisecond))
+		} else {
+			fmt.Println("WARNING: report precedes the injected fault (false positive)")
+		}
+	default:
+		fmt.Println("run neither completed nor produced a report (wall limit reached)")
+		os.Exit(1)
+	}
+}
+
+func maxDur(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,111 @@
+// Command psbench regenerates the tables of the ParaStack paper's
+// evaluation on the simulated substrate.
+//
+// Usage:
+//
+//	psbench -table 1           # Table 1 (fixed-timeout baseline)
+//	psbench -table 3           # Table 3 (stack-trace overhead)
+//	psbench -table 4           # Table 4 (overhead @256 tardis)
+//	psbench -table 5           # Table 5 / Fig 8 (overhead @1024 tianhe2)
+//	psbench -table 6           # Table 6 (+7, 8, 10 share campaigns)
+//	psbench -table 7|8|10      # delay / identification tables
+//	psbench -table 9           # Table 9 (P vs P*)
+//	psbench -fp                # false-positive study (§7.1-II)
+//	psbench -scale             # large-scale study (§7.1-III)
+//	psbench -all               # everything
+//
+// -runs N scales every campaign (default: small shape-preserving
+// counts; the paper's full counts are noted in each header and take
+// hours of CPU). -maxscale caps the scale study (default 4096).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"parastack/internal/paper"
+)
+
+func main() {
+	table := flag.Int("table", 0, "table number to regenerate (1,3,4,5,6,7,8,9,10)")
+	fp := flag.Bool("fp", false, "run the false-positive study")
+	scale := flag.Bool("scale", false, "run the large-scale study")
+	all := flag.Bool("all", false, "regenerate every table")
+	runs := flag.Int("runs", 0, "runs per configuration (0 = small default)")
+	seed := flag.Int64("seed", 1, "base random seed")
+	maxScale := flag.Int("maxscale", 4096, "largest rank count for -scale")
+	flag.Parse()
+
+	opt := paper.Options{Runs: *runs, Seed: *seed, MaxScale: *maxScale}
+	w := os.Stdout
+	start := time.Now()
+
+	need := func(n int) bool {
+		if *table == 678 && (n == 7 || n == 8 || n == 10) {
+			return true
+		}
+		return *all || *table == n
+	}
+
+	// Tables 6/7/8/10 and Figure 9 share the accuracy campaigns; asking
+	// for any of them prints all four.
+	var campaigns map[string][]paper.AccuracyCell
+	needsCampaigns := *all || *table == 6 || *table == 7 || *table == 8 || *table == 10
+	if needsCampaigns && !*all {
+		*table = 678 // sentinel: print 7, 8, 10 too
+	}
+
+	switch {
+	case *table == 0 && !*fp && !*scale && !*all:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	if need(1) {
+		paper.Table1(w, opt)
+		fmt.Fprintln(w)
+	}
+	if need(3) {
+		paper.Table3(w, opt)
+		fmt.Fprintln(w)
+	}
+	if need(4) {
+		paper.Table4(w, opt)
+		fmt.Fprintln(w)
+	}
+	if need(5) {
+		paper.Table5(w, opt)
+		fmt.Fprintln(w)
+	}
+	if needsCampaigns {
+		campaigns = paper.Table6(w, opt)
+		fmt.Fprintln(w)
+	}
+	if need(7) {
+		paper.Table7(w, campaigns, opt)
+		fmt.Fprintln(w)
+	}
+	if need(8) {
+		paper.Table8(w, campaigns, opt)
+		fmt.Fprintln(w)
+	}
+	if need(9) {
+		paper.Table9(w, opt)
+		fmt.Fprintln(w)
+	}
+	if need(10) {
+		paper.Table10(w, campaigns, opt)
+		fmt.Fprintln(w)
+	}
+	if *fp || *all {
+		paper.FalsePositiveStudy(w, opt)
+		fmt.Fprintln(w)
+	}
+	if *scale || *all {
+		paper.ScaleStudy(w, opt)
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "(wall time %v)\n", time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,54 @@
+// Command psfig emits the data series behind the ParaStack paper's
+// figures as CSV (or annotated text) on stdout.
+//
+// Usage:
+//
+//	psfig -fig 2    # healthy Sout variation of LU/SP/FT (Figure 2)
+//	psfig -fig 3    # Sout of a faulty LU run (Figure 3)
+//	psfig -fig 4    # Scrout model ECDF panels (Figure 4)
+//	psfig -fig 5    # sample size vs suspicion probability (Figure 5)
+//	psfig -fig 7    # per-run runtimes on stampede @1024 (Figure 7)
+//	psfig -fig 9    # response-delay histograms @256 (Figure 9)
+//	psfig -fig 10   # batch time savings (Figure 10)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"parastack/internal/paper"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure number (2,3,4,5,7,9,10)")
+	runs := flag.Int("runs", 0, "runs per configuration where applicable")
+	seed := flag.Int64("seed", 1, "base random seed")
+	flag.Parse()
+
+	opt := paper.Options{Runs: *runs, Seed: *seed}
+	w := os.Stdout
+	switch *fig {
+	case 2:
+		paper.Figure2(w, opt)
+	case 3:
+		paper.Figure3(w, opt)
+	case 4:
+		paper.Figure4(w, opt)
+	case 5:
+		paper.Figure5(w, opt)
+	case 7:
+		paper.Figure7(w, opt)
+	case 9:
+		campaigns := map[string][]paper.AccuracyCell{
+			"tardis": paper.AccuracyCampaign("tardis", 256, opt),
+		}
+		paper.Figure9(w, campaigns, opt)
+	case 10:
+		paper.Figure10(w, opt)
+	default:
+		fmt.Fprintln(os.Stderr, "psfig: -fig must be one of 2,3,4,5,7,9,10")
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,45 @@
+package parastack
+
+import (
+	"parastack/internal/diagnose"
+	"parastack/internal/mpi"
+)
+
+// Post-hang diagnosis (the complementary tools of the paper's Figure 1
+// workflow) and the extensions of §6.
+
+type (
+	// Comm is a sub-communicator (MPI_Comm_split) with its own
+	// collective space.
+	Comm = mpi.Comm
+	// Thread is a worker thread of a hybrid (MPI+OpenMP) rank.
+	Thread = mpi.Thread
+	// BlockInfo describes what a rank is blocked on.
+	BlockInfo = mpi.BlockInfo
+	// StackGroup is a STAT-style behavioral equivalence class.
+	StackGroup = diagnose.StackGroup
+	// ProgressGraph is the wait-for graph among ranks.
+	ProgressGraph = diagnose.ProgressGraph
+	// WaitEdge is one wait-for dependency.
+	WaitEdge = diagnose.WaitEdge
+)
+
+// Blocking kinds (see Rank.BlockInfo).
+const (
+	NotBlocked        = mpi.NotBlocked
+	BlockedRecv       = mpi.BlockedRecv
+	BlockedCollective = mpi.BlockedCollective
+	RankTerminated    = mpi.Terminated
+)
+
+// GroupByStack partitions all ranks into stack-trace equivalence
+// classes (mini-STAT), largest first.
+func GroupByStack(w *World) []StackGroup { return diagnose.GroupByStack(w) }
+
+// BuildProgressGraph captures the instantaneous wait-for structure of
+// the world and the least-progressed (faulty-candidate) ranks.
+func BuildProgressGraph(w *World) *ProgressGraph { return diagnose.BuildProgressGraph(w) }
+
+// DiagnoseReport renders a human-readable post-hang diagnosis: stack
+// groups plus least-progressed ranks.
+func DiagnoseReport(w *World) string { return diagnose.Report(w) }

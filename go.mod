@@ -1,0 +1,3 @@
+module parastack
+
+go 1.22

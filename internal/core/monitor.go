@@ -1,0 +1,458 @@
+// Package core implements the ParaStack monitor: model-based,
+// timeout-free hang detection for (simulated) MPI programs, plus hang
+// classification and faulty-process identification.
+//
+// The monitor is a simulated process that samples the runtime state of
+// C randomly chosen ranks at randomized intervals, maintains the robust
+// Scrout model of internal/model, verifies hangs with the geometric
+// significance test of the paper's §3.1, adapts its sampling interval
+// with a runs test (§3.1), alternates between two disjoint monitor sets
+// to defeat the corner case of §3.3, filters transient slowdowns
+// (§3.3), and — on a verified hang — classifies it and pinpoints the
+// faulty ranks (§4).
+package core
+
+import (
+	"time"
+
+	"parastack/internal/model"
+	"parastack/internal/mpi"
+	"parastack/internal/sim"
+	"parastack/internal/stack"
+	"parastack/internal/stats"
+	"parastack/internal/topology"
+)
+
+// HangType classifies a verified hang by the phase the error lives in.
+type HangType int
+
+const (
+	// HangComputation means at least one process was persistently
+	// outside MPI: the error is in application code on those ranks.
+	HangComputation HangType = iota
+	// HangCommunication means every process was stuck inside MPI.
+	HangCommunication
+)
+
+// String implements fmt.Stringer.
+func (t HangType) String() string {
+	if t == HangComputation {
+		return "computation-error"
+	}
+	return "communication-error"
+}
+
+// Report is the outcome of a verified hang detection.
+type Report struct {
+	// DetectedAt is the virtual time of the verification.
+	DetectedAt time.Duration
+	// Type classifies the hang.
+	Type HangType
+	// FaultyRanks are the ranks persistently OUT_MPI (empty for a
+	// communication-error hang).
+	FaultyRanks []int
+	// Suspicions is the length of the consecutive-suspicion streak
+	// that triggered verification.
+	Suspicions int
+	// Q and Threshold document the model state at detection time.
+	Q, Threshold float64
+}
+
+// Sample is one Scrout observation, retained for analysis and figures.
+type Sample struct {
+	T         time.Duration
+	Scrout    float64
+	Suspicion bool
+	Set       int
+}
+
+// Config tunes the monitor. The zero value selects the paper's
+// defaults; only Alpha is meant to be user-tailored (§3.3).
+type Config struct {
+	// C is the number of monitored processes per set (default 10).
+	C int
+	// InitialInterval is I's starting value (default 400ms).
+	InitialInterval time.Duration
+	// Alpha is the hang-test significance level (default 0.001,
+	// i.e. 99.9% confidence).
+	Alpha float64
+	// RunsBatch is how many samples accumulate between randomness
+	// checks during interval adaptation (default 16).
+	RunsBatch int
+	// RunsAlpha is the runs-test significance level (default 0.05).
+	RunsAlpha float64
+	// SwitchEvery is the number of observations after which the
+	// monitor rotates to the next disjoint set (default 30).
+	SwitchEvery int
+	// NumSets is how many pairwise-disjoint monitor sets to rotate
+	// through (default 2, the paper's configuration; more sets buy
+	// resilience to multiple simultaneous faulty processes at no extra
+	// sampling cost, per §3.3).
+	NumSets int
+	// TraceCost is the virtual-time cost one stack trace imposes on a
+	// traced process that is executing application code (default 3ms,
+	// calibrated to the paper's Table 3 ptrace+libunwind measurements).
+	TraceCost time.Duration
+	// MaxHistory caps the model's sample history (default 1024).
+	MaxHistory int
+	// SlowdownGap is the spacing between the stack traces compared by
+	// the transient-slowdown filter (default 2I clamped to [4s, 8s]:
+	// long enough that anything alive — including a rank inside a
+	// multi-second FT transpose — demonstrably moves between traces).
+	SlowdownGap time.Duration
+	// FaultScans and FaultScanGap control faulty-process
+	// identification: a rank must be OUT_MPI in all FaultScans scans,
+	// spaced FaultScanGap apart, to be reported (defaults 3, 100ms).
+	FaultScans   int
+	FaultScanGap time.Duration
+
+	// Ablation switches (all false = the paper's system).
+	DisableAdaptation     bool // never double I
+	DisableSetSwitch      bool // monitor a single set
+	DisableSlowdownFilter bool // skip the transient-slowdown check
+
+	// OnHang, when non-nil, replaces the default action (stopping the
+	// engine) after a verified hang.
+	OnHang func(*Report)
+
+	// KeepHistory retains every Scrout sample in Monitor.History
+	// (default off to bound memory in long campaigns).
+	KeepHistory bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.C == 0 {
+		c.C = 10
+	}
+	if c.InitialInterval == 0 {
+		c.InitialInterval = 400 * time.Millisecond
+	}
+	if c.Alpha == 0 {
+		c.Alpha = 0.001
+	}
+	if c.RunsBatch == 0 {
+		c.RunsBatch = 16
+	}
+	if c.RunsAlpha == 0 {
+		c.RunsAlpha = 0.05
+	}
+	if c.SwitchEvery == 0 {
+		c.SwitchEvery = 30
+	}
+	if c.NumSets == 0 {
+		c.NumSets = 2
+	}
+	if c.TraceCost == 0 {
+		c.TraceCost = 3 * time.Millisecond
+	}
+	if c.MaxHistory == 0 {
+		c.MaxHistory = 1024
+	}
+	if c.FaultScans == 0 {
+		c.FaultScans = 3
+	}
+	if c.FaultScanGap == 0 {
+		c.FaultScanGap = 100 * time.Millisecond
+	}
+	return c
+}
+
+// Monitor is a ParaStack instance attached to one simulated world.
+type Monitor struct {
+	cfg     Config
+	w       *mpi.World
+	cluster *topology.Cluster
+
+	model *model.Model
+	I     time.Duration
+
+	randomOK     bool
+	sinceRuns    int
+	suspicions   int
+	sets         []topology.MonitorSet
+	activeSet    int
+	sinceSwitch  int
+	totalSamples int
+
+	report  *Report
+	history []Sample
+
+	// Phase support (§6): nil models map means single-phase operation.
+	curPhase int
+	models   map[int]*model.Model
+
+	// Stats observable by experiments.
+	Doublings     int           // times I was doubled
+	SlowdownsSeen int           // transient slowdowns filtered
+	ModelReadyAt  time.Duration // first time the model could fit (0 if never)
+	modelWasReady bool
+	proc          *sim.Proc
+	stopped       bool
+}
+
+// New attaches a monitor to world w laid out as cluster. It does not
+// start sampling until Start is called.
+func New(w *mpi.World, cluster *topology.Cluster, cfg Config) *Monitor {
+	cfg = cfg.withDefaults()
+	m := &Monitor{
+		cfg:     cfg,
+		w:       w,
+		cluster: cluster,
+		model:   model.New(cfg.MaxHistory),
+		I:       cfg.InitialInterval,
+	}
+	rng := w.Engine().Rand()
+	if cfg.DisableSetSwitch {
+		one := cluster.PickMonitorSet(rng, cfg.C, nil)
+		m.sets = []topology.MonitorSet{one}
+	} else {
+		m.sets = cluster.NDisjointMonitorSets(rng, cfg.NumSets, cfg.C)
+		// Drop sets the cluster was too small to fill.
+		kept := m.sets[:0]
+		for _, s := range m.sets {
+			if len(s.Ranks) > 0 {
+				kept = append(kept, s)
+			}
+		}
+		m.sets = kept
+	}
+	return m
+}
+
+// Interval returns the current maximum sampling interval I.
+func (m *Monitor) Interval() time.Duration { return m.I }
+
+// Report returns the hang report, or nil if no hang was verified.
+func (m *Monitor) Report() *Report { return m.report }
+
+// History returns retained samples (empty unless Config.KeepHistory).
+func (m *Monitor) History() []Sample { return m.history }
+
+// Model exposes the Scrout model (read-only use intended).
+func (m *Monitor) Model() *model.Model { return m.model }
+
+// ActiveRanks returns the ranks of the currently monitored set.
+func (m *Monitor) ActiveRanks() []int { return m.sets[m.activeSet].Ranks }
+
+// TotalSamples reports how many Scrout samples the monitor has taken.
+func (m *Monitor) TotalSamples() int { return m.totalSamples }
+
+// Stop makes the monitor exit at its next wakeup (used when detaching).
+func (m *Monitor) Stop() { m.stopped = true }
+
+// Start spawns the monitor process on the world's engine. The monitor
+// exits when the application completes, a hang is verified (after
+// invoking OnHang or stopping the engine), or Stop is called.
+func (m *Monitor) Start() {
+	m.proc = m.w.Engine().SpawnNow("parastack-monitor", m.run)
+}
+
+func (m *Monitor) run(p *sim.Proc) {
+	eng := m.w.Engine()
+	rng := eng.Rand()
+	for !m.stopped {
+		// Randomized sampling step: rstep = rand(I) + I/2 ∈ [I/2, 3I/2].
+		step := time.Duration(rng.Int63n(int64(m.I))) + m.I/2
+		p.Sleep(step)
+		if m.w.Done() || m.stopped {
+			return
+		}
+
+		scrout := m.sampleScrout()
+		md := m.curModel()
+		md.Add(scrout)
+		m.totalSamples++
+		m.sinceRuns++
+
+		// Interval adaptation: runs test every RunsBatch samples until
+		// the sampling is statistically random.
+		if !m.randomOK && !m.cfg.DisableAdaptation && m.sinceRuns >= m.cfg.RunsBatch {
+			m.sinceRuns = 0
+			res := stats.RunsTest(md.Recent(m.cfg.RunsBatch), m.cfg.RunsAlpha)
+			if res.Random {
+				m.randomOK = true
+			} else {
+				m.I *= 2
+				m.Doublings++
+				m.halveModels()
+			}
+		}
+
+		fit, ok := md.Fit()
+		if !ok {
+			m.record(scrout, false)
+			m.rotateSet()
+			continue
+		}
+		if !m.modelWasReady {
+			m.modelWasReady = true
+			m.ModelReadyAt = time.Duration(eng.Now())
+		}
+
+		suspicion := scrout <= fit.Threshold
+		m.record(scrout, suspicion)
+		if !suspicion {
+			m.suspicions = 0
+			m.rotateSet()
+			continue
+		}
+		m.suspicions++
+		k := stats.GeometricThreshold(fit.Q, m.cfg.Alpha)
+		if m.suspicions < k {
+			m.rotateSet()
+			continue
+		}
+
+		// Candidate hang: apply the transient-slowdown filter.
+		if !m.cfg.DisableSlowdownFilter && m.slowdownCheck(p) {
+			m.SlowdownsSeen++
+			m.suspicions = 0
+			m.rotateSet()
+			continue
+		}
+		if m.w.Done() {
+			return
+		}
+
+		// Verified hang: classify and identify faulty ranks.
+		rep := &Report{
+			DetectedAt: time.Duration(eng.Now()),
+			Suspicions: m.suspicions,
+			Q:          fit.Q,
+			Threshold:  fit.Threshold,
+		}
+		rep.FaultyRanks = m.identifyFaulty(p)
+		if len(rep.FaultyRanks) > 0 {
+			rep.Type = HangComputation
+		} else {
+			rep.Type = HangCommunication
+		}
+		rep.DetectedAt = time.Duration(eng.Now())
+		m.report = rep
+		if m.cfg.OnHang != nil {
+			m.cfg.OnHang(rep)
+		} else {
+			eng.Stop()
+		}
+		return
+	}
+}
+
+// record appends to history when enabled.
+func (m *Monitor) record(scrout float64, susp bool) {
+	if m.cfg.KeepHistory {
+		m.history = append(m.history, Sample{
+			T:         time.Duration(m.w.Engine().Now()),
+			Scrout:    scrout,
+			Suspicion: susp,
+			Set:       m.activeSet,
+		})
+	}
+}
+
+// rotateSet advances the observation counter and alternates between the
+// two disjoint monitor sets every SwitchEvery observations.
+func (m *Monitor) rotateSet() {
+	if len(m.sets) < 2 {
+		return
+	}
+	m.sinceSwitch++
+	if m.sinceSwitch >= m.cfg.SwitchEvery {
+		m.sinceSwitch = 0
+		m.activeSet = (m.activeSet + 1) % len(m.sets)
+	}
+}
+
+// trace takes one stack trace of a rank, charging the ptrace-style cost
+// to processes that are executing application code (tracing a process
+// blocked in MPI overlaps with its idle time and is free, matching the
+// paper's lightweight-design argument).
+func (m *Monitor) trace(rankID int) stack.Trace {
+	r := m.w.Rank(rankID)
+	r.Proc().ChargePenalty(m.cfg.TraceCost)
+	return r.Observe()
+}
+
+// sampleScrout computes the fraction of the active set's ranks that are
+// OUT_MPI right now.
+func (m *Monitor) sampleScrout() float64 {
+	ranks := m.sets[m.activeSet].Ranks
+	if len(ranks) == 0 {
+		return 0
+	}
+	out := 0
+	for _, id := range ranks {
+		if m.trace(id).State == stack.OutMPI {
+			out++
+		}
+	}
+	return float64(out) / float64(len(ranks))
+}
+
+// slowdownCheck distinguishes a transient slowdown from a hang using
+// two stack traces per process (paper §3.3): if any process passes
+// through different MPI functions, or steps in/out of non-polling MPI
+// functions, the application is slow but alive.
+func (m *Monitor) slowdownCheck(p *sim.Proc) bool {
+	gap := m.cfg.SlowdownGap
+	if gap == 0 {
+		// The gap must comfortably exceed both a slowed process's
+		// longest stretch between MPI calls and a healthy long
+		// collective (an FT-style transpose), so that anything alive
+		// demonstrably moves between the two traces. It scales with I
+		// but is clamped to [4s, 8s].
+		gap = 2 * m.I
+		if gap < 4*time.Second {
+			gap = 4 * time.Second
+		}
+		if gap > 8*time.Second {
+			gap = 8 * time.Second
+		}
+	}
+	n := m.w.Size()
+	first := make([]stack.Trace, n)
+	for i := 0; i < n; i++ {
+		first[i] = m.trace(i)
+	}
+	p.Sleep(gap)
+	if m.w.Done() {
+		return true // completed while we checked: clearly not hung
+	}
+	for i := 0; i < n; i++ {
+		if stack.CompareTraces(first[i], m.trace(i)) == stack.SlowProgress {
+			return true
+		}
+	}
+	return false
+}
+
+// identifyFaulty scans every rank FaultScans times, FaultScanGap apart,
+// and returns the ranks observed OUT_MPI in every scan — the paper's §4
+// persistence rule that excludes busy-wait flickers.
+func (m *Monitor) identifyFaulty(p *sim.Proc) []int {
+	n := m.w.Size()
+	persistent := make([]bool, n)
+	for i := range persistent {
+		persistent[i] = true
+	}
+	for s := 0; s < m.cfg.FaultScans; s++ {
+		if s > 0 {
+			p.Sleep(m.cfg.FaultScanGap)
+		}
+		for i := 0; i < n; i++ {
+			if !persistent[i] {
+				continue
+			}
+			if m.trace(i).State != stack.OutMPI {
+				persistent[i] = false
+			}
+		}
+	}
+	var out []int
+	for i, ok := range persistent {
+		if ok {
+			out = append(out, i)
+		}
+	}
+	return out
+}

@@ -1,0 +1,49 @@
+package core
+
+import (
+	"time"
+
+	"parastack/internal/mpi"
+	"parastack/internal/sim"
+	"parastack/internal/stack"
+)
+
+// SoutPoint is one full-population Sout observation.
+type SoutPoint struct {
+	T    time.Duration
+	Sout float64
+}
+
+// ProbeSout attaches a zero-cost observer that samples the exact
+// OUT_MPI significance Sout (over all ranks) every interval until the
+// application completes or stop is reached (stop <= 0 means no limit).
+// This reproduces the measurement behind the paper's Figures 2 and 3
+// (1 ms probing of healthy and faulty runs). The returned slice is
+// filled in as the simulation runs; read it after the engine stops.
+func ProbeSout(w *mpi.World, interval time.Duration, stop time.Duration) *[]SoutPoint {
+	out := new([]SoutPoint)
+	eng := w.Engine()
+	eng.SpawnNow("sout-probe", func(p *sim.Proc) {
+		for {
+			p.Sleep(interval)
+			if w.Done() {
+				return
+			}
+			now := time.Duration(eng.Now())
+			if stop > 0 && now > stop {
+				return
+			}
+			outCount := 0
+			for _, r := range w.Ranks() {
+				if r.Stack().State() == stack.OutMPI {
+					outCount++
+				}
+			}
+			*out = append(*out, SoutPoint{
+				T:    now,
+				Sout: float64(outCount) / float64(w.Size()),
+			})
+		}
+	})
+	return out
+}

@@ -1,0 +1,138 @@
+// Package diagnose implements the complementary analyses the paper's
+// workflow (Figure 1) hands a detected hang to:
+//
+//   - STAT-style behavioral grouping: partition ranks into equivalence
+//     classes by their current call stack, the first thing a developer
+//     looks at after a hang report (Arnold et al., IPDPS'07);
+//   - progress-dependency analysis: build the wait-for graph among
+//     ranks from their blocking state (Figure 6, middle) and identify
+//     the least-progressed ranks — the "traditional" way to find the
+//     faulty process, against which ParaStack's simple OUT_MPI scan is
+//     contrasted.
+//
+// Both run on a stopped (or paused) simulation and only read state.
+package diagnose
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"parastack/internal/mpi"
+)
+
+// StackGroup is one behavioral equivalence class: every rank whose
+// stack trace renders identically.
+type StackGroup struct {
+	// Trace is the shared call chain, outermost first.
+	Trace []string
+	// Ranks are the members, ascending.
+	Ranks []int
+}
+
+// Key renders the trace as a single string (the grouping key).
+func (g StackGroup) Key() string { return strings.Join(g.Trace, ";") }
+
+// GroupByStack partitions all ranks of the world into stack-trace
+// equivalence classes, largest class first (ties broken by key). On a
+// hung run this typically yields a handful of classes: one giant class
+// stuck in the global collective, small classes of the faulty rank's
+// neighbors stuck in point-to-point calls, and the faulty rank alone in
+// application code.
+func GroupByStack(w *mpi.World) []StackGroup {
+	byKey := map[string]*StackGroup{}
+	for _, r := range w.Ranks() {
+		trace := r.Stack().Snapshot()
+		key := strings.Join(trace, ";")
+		g, ok := byKey[key]
+		if !ok {
+			g = &StackGroup{Trace: trace}
+			byKey[key] = g
+		}
+		g.Ranks = append(g.Ranks, r.ID())
+	}
+	out := make([]StackGroup, 0, len(byKey))
+	for _, g := range byKey {
+		sort.Ints(g.Ranks)
+		out = append(out, *g)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i].Ranks) != len(out[j].Ranks) {
+			return len(out[i].Ranks) > len(out[j].Ranks)
+		}
+		return out[i].Key() < out[j].Key()
+	})
+	return out
+}
+
+// WaitEdge is one wait-for dependency: From is blocked until To makes
+// progress.
+type WaitEdge struct {
+	From, To int
+	Detail   string
+}
+
+// ProgressGraph is the wait-for graph over ranks plus derived results.
+type ProgressGraph struct {
+	Edges []WaitEdge
+	// Blocked[r] reports whether rank r is blocked inside MPI.
+	Blocked []bool
+	// LeastProgressed are the ranks nobody is certain to be waiting on
+	// transitively while they themselves block nobody's progress —
+	// concretely: non-blocked, non-terminated ranks that appear as the
+	// target of at least one wait chain. These are the faulty-process
+	// candidates of the traditional analysis.
+	LeastProgressed []int
+}
+
+// BuildProgressGraph captures the instantaneous wait-for structure of
+// the world. Collective waits produce one edge per missing rank;
+// blocked receives produce an edge to their (known) source.
+func BuildProgressGraph(w *mpi.World) *ProgressGraph {
+	n := w.Size()
+	g := &ProgressGraph{Blocked: make([]bool, n)}
+	waitedOn := make([]bool, n)
+	for _, r := range w.Ranks() {
+		info := r.BlockInfo()
+		switch info.Kind {
+		case mpi.BlockedRecv, mpi.BlockedCollective:
+			g.Blocked[r.ID()] = true
+			for _, to := range info.WaitingFor {
+				g.Edges = append(g.Edges, WaitEdge{From: r.ID(), To: to, Detail: info.Detail})
+				waitedOn[to] = true
+			}
+		}
+	}
+	for _, r := range w.Ranks() {
+		id := r.ID()
+		if !g.Blocked[id] && waitedOn[id] && r.BlockInfo().Kind != mpi.Terminated {
+			g.LeastProgressed = append(g.LeastProgressed, id)
+		}
+	}
+	return g
+}
+
+// Report renders a compact human-readable diagnosis: the stack groups
+// and the least-progressed ranks. It is what a user would read after
+// ParaStack flags a hang, before attaching a full debugger to the
+// handful of implicated ranks.
+func Report(w *mpi.World) string {
+	var b strings.Builder
+	groups := GroupByStack(w)
+	fmt.Fprintf(&b, "%d ranks in %d stack equivalence classes:\n", w.Size(), len(groups))
+	for i, g := range groups {
+		if i >= 8 {
+			fmt.Fprintf(&b, "  … %d more classes\n", len(groups)-i)
+			break
+		}
+		fmt.Fprintf(&b, "  [%4d ranks] %s (e.g. rank %d)\n", len(g.Ranks), g.Key(), g.Ranks[0])
+	}
+	pg := BuildProgressGraph(w)
+	fmt.Fprintf(&b, "wait-for graph: %d edges\n", len(pg.Edges))
+	if len(pg.LeastProgressed) > 0 {
+		fmt.Fprintf(&b, "least-progressed (faulty candidates): %v\n", pg.LeastProgressed)
+	} else {
+		fmt.Fprintf(&b, "no rank is outside MPI: communication-phase error\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,346 @@
+// Package experiment is the harness that reproduces the paper's
+// evaluation: it assembles a simulated platform, workload, fault plan,
+// and detector into one run, executes campaigns of such runs (in
+// parallel across OS threads — each run owns its engine), and
+// aggregates the paper's metrics: detection accuracy (ACh), false
+// positive rate, response delay, faulty-process identification accuracy
+// (ACf) and precision (PRf), runtimes, and overhead.
+package experiment
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"parastack/internal/core"
+	"parastack/internal/fault"
+	"parastack/internal/mpi"
+	"parastack/internal/noise"
+	"parastack/internal/sim"
+	"parastack/internal/stats"
+	"parastack/internal/timeout"
+	"parastack/internal/topology"
+	"parastack/internal/workload"
+)
+
+// PPNFor returns the processes-per-node layout the paper used on each
+// platform (Tardis 8×32, Tianhe-2 64×16, Stampede 16 per node).
+func PPNFor(platform string) int {
+	switch platform {
+	case "tardis":
+		return 32
+	default:
+		return 16
+	}
+}
+
+// RunConfig describes one simulated run.
+type RunConfig struct {
+	// Params selects and calibrates the workload.
+	Params workload.Params
+	// Platform is the timing profile (Tardis/Tianhe2/Stampede).
+	Platform noise.Profile
+	// PPN is processes per node (0 = PPNFor(Platform.Name)).
+	PPN int
+	// Seed drives all randomness in the run.
+	Seed int64
+
+	// FaultKind injects a fault (fault.None = clean run) at a random
+	// rank and a random iteration no earlier than MinFaultTime.
+	FaultKind fault.Kind
+	// MinFaultTime excludes faults in the model-building phase, like
+	// the paper's discard rule (default 30s).
+	MinFaultTime time.Duration
+
+	// Monitor attaches ParaStack when non-nil.
+	Monitor *core.Config
+	// Timeout attaches the fixed-(I,K) baseline when non-nil.
+	Timeout *timeout.Config
+	// Watchdog attaches the activity watchdog when nonzero.
+	Watchdog time.Duration
+
+	// ProbeSout records the exact full-population Sout at this interval
+	// when nonzero (Figures 2 and 3).
+	ProbeSout time.Duration
+	// KeepHistory retains the monitor's Scrout samples.
+	KeepHistory bool
+	// WallLimit bounds the virtual run time (0 = 3× estimated + 10 min).
+	WallLimit time.Duration
+}
+
+// RunResult is everything a campaign needs from one run.
+type RunResult struct {
+	Spec     workload.Spec
+	Platform string
+	Seed     int64
+
+	// Completed is true when the application finished, with FinishedAt
+	// its completion time.
+	Completed  bool
+	FinishedAt time.Duration
+
+	// Injected reports whether the fault actually fired, and when.
+	Injected    bool
+	InjectedAt  time.Duration
+	PlannedFail []int // ranks the plan made faulty
+
+	// Report is ParaStack's verdict (nil if none).
+	Report *core.Report
+	// TimeoutReport is the fixed-(I,K) baseline's verdict (nil if none).
+	TimeoutReport *timeout.Report
+
+	// Derived detector quality (for whichever detector was attached;
+	// ParaStack wins if both were).
+	Detected      bool
+	FalsePositive bool
+	Delay         time.Duration
+
+	// Faulty-identification quality (valid when Detected and the fault
+	// was a computation-phase fault).
+	FaultyFound bool
+	Precision   float64
+
+	// Monitor internals.
+	Doublings     int
+	FinalInterval time.Duration
+	SlowdownsSeen int
+
+	History []core.Sample
+	Sout    []core.SoutPoint
+
+	Events uint64
+}
+
+// Run executes one simulation.
+func Run(rc RunConfig) RunResult {
+	p := rc.Params
+	procs := p.Procs
+	ppn := rc.PPN
+	if ppn == 0 {
+		ppn = PPNFor(rc.Platform.Name)
+	}
+	if procs%ppn != 0 {
+		ppn = procs // degenerate single-node layout
+	}
+
+	eng := sim.NewEngine(rc.Seed)
+	w := mpi.NewWorld(eng, procs, rc.Platform.Latency())
+	speed := rc.Platform.Speed
+	if speed <= 0 {
+		speed = 1
+	}
+	estimated := time.Duration(float64(p.EstimatedDuration()) / speed)
+	rc.Platform.Apply(w, eng.Rand(), ppn, estimated)
+	cluster := topology.New(procs/ppn, ppn, rc.Seed)
+
+	res := RunResult{Spec: p.Spec, Platform: rc.Platform.Name, Seed: rc.Seed}
+
+	var inj *fault.Injector
+	if rc.FaultKind != fault.None {
+		minT := rc.MinFaultTime
+		if minT == 0 {
+			minT = 30 * time.Second
+		}
+		perIter := time.Duration(float64(p.Compute) / speed)
+		minIter := int(minT/perIter) + 1
+		plan := fault.NewRandomPlan(eng.Rand(), rc.FaultKind, procs, p.Iters, minIter, ppn)
+		inj = fault.NewInjector(plan)
+		res.PlannedFail = plan.FaultyRanks()
+	}
+
+	var mon *core.Monitor
+	if rc.Monitor != nil {
+		cfg := *rc.Monitor
+		cfg.KeepHistory = cfg.KeepHistory || rc.KeepHistory
+		mon = core.New(w, cluster, cfg)
+		mon.Start()
+	}
+	var tod *timeout.FixedIK
+	if rc.Timeout != nil {
+		tod = timeout.NewFixedIK(w, cluster, *rc.Timeout)
+		tod.Start()
+	}
+	var wd *timeout.Watchdog
+	if rc.Watchdog > 0 {
+		wd = timeout.NewWatchdog(w, rc.Watchdog)
+		wd.Start()
+	}
+	var soutPts *[]core.SoutPoint
+	if rc.ProbeSout > 0 {
+		soutPts = core.ProbeSout(w, rc.ProbeSout, 0)
+	}
+
+	w.Launch(p.Body(inj))
+
+	limit := rc.WallLimit
+	if limit == 0 {
+		limit = 3*estimated + 10*time.Minute
+	}
+	eng.Run(limit)
+
+	res.Completed = w.Done()
+	res.FinishedAt = time.Duration(w.FinishedAt())
+	res.Injected, res.InjectedAt = inj.Triggered()
+	if mon != nil {
+		res.Report = mon.Report()
+		res.Doublings = mon.Doublings
+		res.FinalInterval = mon.Interval()
+		res.SlowdownsSeen = mon.SlowdownsSeen
+		res.History = mon.History()
+	}
+	if tod != nil {
+		res.TimeoutReport = tod.Report()
+	}
+	if wd != nil && wd.Report() != nil && res.TimeoutReport == nil {
+		res.TimeoutReport = wd.Report()
+	}
+	if soutPts != nil {
+		res.Sout = *soutPts
+	}
+	res.Events = eng.EventsFired()
+	// Release all parked goroutines (hung runs would otherwise leak
+	// their rank processes for the lifetime of the campaign).
+	defer eng.Shutdown()
+
+	// Detector verdicts: a report counts as detection only if the fault
+	// had fired; otherwise it is a false positive.
+	var at time.Duration
+	var reported bool
+	switch {
+	case res.Report != nil:
+		at, reported = res.Report.DetectedAt, true
+	case res.TimeoutReport != nil:
+		at, reported = res.TimeoutReport.DetectedAt, true
+	}
+	if reported {
+		if res.Injected && at >= res.InjectedAt {
+			res.Detected = true
+			res.Delay = at - res.InjectedAt
+		} else {
+			res.FalsePositive = true
+		}
+	}
+
+	// Faulty-identification quality (paper §7.2): per detected run,
+	// precision is |true∩reported| / |reported| (1/x_i for single-fault
+	// plans), accuracy is whether the true faulty ranks were found.
+	if res.Detected && res.Report != nil && len(res.PlannedFail) > 0 &&
+		rc.FaultKind != fault.CommunicationDeadlock {
+		truth := map[int]bool{}
+		for _, f := range res.PlannedFail {
+			truth[f] = true
+		}
+		hit := 0
+		for _, f := range res.Report.FaultyRanks {
+			if truth[f] {
+				hit++
+			}
+		}
+		res.FaultyFound = hit == len(res.PlannedFail)
+		if len(res.Report.FaultyRanks) > 0 {
+			res.Precision = float64(hit) / float64(len(res.Report.FaultyRanks))
+		}
+	}
+	return res
+}
+
+// Campaign runs n copies of base with seeds seed0, seed0+1, … in
+// parallel (bounded by GOMAXPROCS) and returns results in seed order.
+func Campaign(base RunConfig, n int, seed0 int64) []RunResult {
+	out := make([]RunResult, n)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				rc := base
+				rc.Seed = seed0 + int64(i)
+				out[i] = Run(rc)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return out
+}
+
+// Metrics aggregates a campaign the way the paper's tables do.
+type Metrics struct {
+	Runs           int
+	Injected       int
+	Planned        int
+	Detected       int
+	FalsePositives int
+	// Accuracy is ACh = Detected / Planned over runs with a fault plan
+	// (1 if the campaign was clean). A false positive that terminates a
+	// run before its fault fires counts against accuracy, exactly as in
+	// the paper's Table 1.
+	Accuracy float64
+	// FPRate is FalsePositives / Runs.
+	FPRate float64
+	// Delay summarizes response delays of detected runs (seconds).
+	Delay stats.Summary
+	// Runtime summarizes FinishedAt of completed runs (seconds).
+	Runtime stats.Summary
+	// ACf and PRf are faulty-identification accuracy and precision over
+	// detected computation-fault runs (paper §7.2).
+	ACf, PRf      float64
+	FaultyChecked int
+}
+
+// Aggregate computes campaign metrics.
+func Aggregate(rs []RunResult) Metrics {
+	m := Metrics{Runs: len(rs)}
+	var delays, runtimes []float64
+	var precSum float64
+	faultyFound := 0
+	for _, r := range rs {
+		if r.Injected {
+			m.Injected++
+		}
+		if len(r.PlannedFail) > 0 {
+			m.Planned++
+		}
+		if r.Detected {
+			m.Detected++
+			delays = append(delays, r.Delay.Seconds())
+		}
+		if r.FalsePositive {
+			m.FalsePositives++
+		}
+		if r.Completed {
+			runtimes = append(runtimes, r.FinishedAt.Seconds())
+		}
+		if r.Detected && len(r.PlannedFail) > 0 && r.Report != nil {
+			m.FaultyChecked++
+			precSum += r.Precision
+			if r.FaultyFound {
+				faultyFound++
+			}
+		}
+	}
+	if m.Planned > 0 {
+		m.Accuracy = float64(m.Detected) / float64(m.Planned)
+	} else {
+		m.Accuracy = 1
+	}
+	if m.Runs > 0 {
+		m.FPRate = float64(m.FalsePositives) / float64(m.Runs)
+	}
+	m.Delay = stats.Summarize(delays)
+	m.Runtime = stats.Summarize(runtimes)
+	if m.FaultyChecked > 0 {
+		m.ACf = float64(faultyFound) / float64(m.FaultyChecked)
+		m.PRf = precSum / float64(m.FaultyChecked)
+	}
+	return m
+}

@@ -1,0 +1,171 @@
+package experiment
+
+import (
+	"testing"
+	"time"
+
+	"parastack/internal/core"
+	"parastack/internal/fault"
+	"parastack/internal/noise"
+	"parastack/internal/timeout"
+	"parastack/internal/workload"
+)
+
+// smallParams is a fast CG-like configuration for harness tests.
+func smallParams() workload.Params {
+	p := workload.MustLookup("CG", "D", 256)
+	p.Spec = workload.Spec{Name: "CG", Class: "test", Procs: 32}
+	p.Iters = 400
+	p.Compute = 120 * time.Millisecond
+	p.HaloBytes = 16 << 10
+	return p
+}
+
+func TestCleanRunWithMonitor(t *testing.T) {
+	res := Run(RunConfig{
+		Params:   smallParams(),
+		Platform: noise.Tardis(),
+		PPN:      8,
+		Seed:     1,
+		Monitor:  &core.Config{},
+	})
+	if !res.Completed {
+		t.Fatal("clean run did not complete")
+	}
+	if res.FalsePositive || res.Report != nil {
+		t.Fatalf("false positive: %+v", res.Report)
+	}
+	if res.FinishedAt <= 0 {
+		t.Fatal("no completion time")
+	}
+}
+
+func TestFaultyRunDetection(t *testing.T) {
+	res := Run(RunConfig{
+		Params:    smallParams(),
+		Platform:  noise.Tardis(),
+		PPN:       8,
+		Seed:      2,
+		FaultKind: fault.ComputationHang,
+		Monitor:   &core.Config{},
+	})
+	if !res.Injected {
+		t.Fatal("fault not injected")
+	}
+	if res.InjectedAt < 30*time.Second {
+		t.Fatalf("fault at %v, before the 30s discard threshold", res.InjectedAt)
+	}
+	if !res.Detected {
+		t.Fatal("hang not detected")
+	}
+	if res.Delay <= 0 || res.Delay > time.Minute {
+		t.Fatalf("delay = %v", res.Delay)
+	}
+	if !res.FaultyFound || res.Precision != 1 {
+		t.Fatalf("faulty identification: found=%v precision=%v (planned %v, got %v)",
+			res.FaultyFound, res.Precision, res.PlannedFail, res.Report.FaultyRanks)
+	}
+}
+
+func TestTimeoutBaselineAttach(t *testing.T) {
+	res := Run(RunConfig{
+		Params:    smallParams(),
+		Platform:  noise.Tardis(),
+		PPN:       8,
+		Seed:      3,
+		FaultKind: fault.ComputationHang,
+		Timeout:   &timeout.Config{C: 10, Interval: 400 * time.Millisecond, K: 10, Threshold: 0.15},
+	})
+	if !res.Detected && !res.FalsePositive {
+		t.Fatal("timeout baseline produced no verdict on a hung run")
+	}
+	if res.Report != nil {
+		t.Fatal("no monitor was attached but a ParaStack report exists")
+	}
+}
+
+func TestCampaignAggregate(t *testing.T) {
+	rs := Campaign(RunConfig{
+		Params:    smallParams(),
+		Platform:  noise.Tardis(),
+		PPN:       8,
+		FaultKind: fault.ComputationHang,
+		Monitor:   &core.Config{},
+	}, 6, 100)
+	m := Aggregate(rs)
+	if m.Runs != 6 || m.Injected != 6 {
+		t.Fatalf("metrics = %+v", m)
+	}
+	if m.Accuracy < 0.8 {
+		t.Fatalf("accuracy = %v over %d runs", m.Accuracy, m.Runs)
+	}
+	if m.FPRate != 0 {
+		t.Fatalf("FP rate = %v", m.FPRate)
+	}
+	if m.Delay.N != m.Detected || m.Delay.Mean <= 0 {
+		t.Fatalf("delay summary = %+v", m.Delay)
+	}
+	if m.ACf < 0.8 || m.PRf < 0.8 {
+		t.Fatalf("faulty metrics ACf=%v PRf=%v", m.ACf, m.PRf)
+	}
+}
+
+func TestCampaignDeterministicPerSeed(t *testing.T) {
+	cfg := RunConfig{
+		Params:    smallParams(),
+		Platform:  noise.Tardis(),
+		PPN:       8,
+		FaultKind: fault.ComputationHang,
+		Monitor:   &core.Config{},
+	}
+	a := Campaign(cfg, 3, 50)
+	b := Campaign(cfg, 3, 50)
+	for i := range a {
+		if a[i].InjectedAt != b[i].InjectedAt || a[i].Delay != b[i].Delay ||
+			a[i].Detected != b[i].Detected {
+			t.Fatalf("run %d diverged: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestSoutProbeCapture(t *testing.T) {
+	p := smallParams()
+	p.Iters = 80
+	res := Run(RunConfig{
+		Params:    p,
+		Platform:  noise.Tardis(),
+		PPN:       8,
+		Seed:      5,
+		ProbeSout: 10 * time.Millisecond,
+	})
+	if !res.Completed {
+		t.Fatal("run did not complete")
+	}
+	if len(res.Sout) < 100 {
+		t.Fatalf("only %d Sout points", len(res.Sout))
+	}
+}
+
+func TestOverheadMeasurable(t *testing.T) {
+	// Clean vs monitored runtime at a tight interval: the monitored run
+	// must not be more than a few percent slower — and must not be
+	// faster by more than noise.
+	p := smallParams()
+	p.Iters = 200
+	clean := Run(RunConfig{Params: p, Platform: noise.Tardis(), PPN: 8, Seed: 7})
+	mon := Run(RunConfig{Params: p, Platform: noise.Tardis(), PPN: 8, Seed: 7,
+		Monitor: &core.Config{InitialInterval: 100 * time.Millisecond}})
+	if !clean.Completed || !mon.Completed {
+		t.Fatal("runs did not complete")
+	}
+	ratio := float64(mon.FinishedAt) / float64(clean.FinishedAt)
+	if ratio < 0.95 || ratio > 1.10 {
+		t.Fatalf("monitored/clean runtime ratio = %v", ratio)
+	}
+}
+
+func TestPPNFor(t *testing.T) {
+	if PPNFor("tardis") != 32 || PPNFor("tianhe2") != 16 || PPNFor("stampede") != 16 {
+		t.Fatal("PPNFor wrong")
+	}
+}

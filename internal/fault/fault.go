@@ -1,0 +1,157 @@
+// Package fault injects hangs into simulated MPI workloads, mirroring
+// the paper's methodology (§7, "Fault injection"): suspend a randomly
+// selected process inside a random invocation of a user function
+// (computation-error hang), freeze a whole node, or break communication
+// so that every rank blocks inside MPI (communication-error hang).
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"parastack/internal/mpi"
+)
+
+// Kind classifies the injected error.
+type Kind int
+
+const (
+	// None disables injection (clean run).
+	None Kind = iota
+	// ComputationHang stops one rank inside application code: the
+	// simulated analogue of an infinite loop, stuck IO, or a soft
+	// error. The faulty rank stays OUT_MPI forever.
+	ComputationHang
+	// NodeFreeze stops every rank of the faulty rank's node inside
+	// application code (an unresponsive node).
+	NodeFreeze
+	// CommunicationDeadlock makes the faulty rank block in a receive
+	// that can never be matched, so it — and transitively everyone —
+	// ends up IN_MPI forever.
+	CommunicationDeadlock
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case None:
+		return "none"
+	case ComputationHang:
+		return "computation-hang"
+	case NodeFreeze:
+		return "node-freeze"
+	case CommunicationDeadlock:
+		return "communication-deadlock"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// deadTag is a message tag no workload uses; a receive on it from the
+// rank itself can never complete.
+const deadTag = 0x7fffffff
+
+// Plan describes one injection: which rank misbehaves, at which solver
+// iteration, and how.
+type Plan struct {
+	Kind      Kind
+	Rank      int
+	Iteration int
+	// PPN is needed by NodeFreeze to identify the victim node's ranks.
+	PPN int
+}
+
+// NewRandomPlan draws a plan with a uniformly random victim rank and a
+// uniformly random trigger iteration in [minIter, iters). The paper
+// discards faults landing in the first ~20 seconds (model-building
+// phase); callers encode that by passing an appropriate minIter.
+func NewRandomPlan(rng *rand.Rand, kind Kind, size, iters, minIter, ppn int) Plan {
+	if minIter >= iters {
+		minIter = iters - 1
+	}
+	if minIter < 0 {
+		minIter = 0
+	}
+	return Plan{
+		Kind:      kind,
+		Rank:      rng.Intn(size),
+		Iteration: minIter + rng.Intn(iters-minIter),
+		PPN:       ppn,
+	}
+}
+
+// Injector is the runtime state of a plan across one simulated run.
+// A nil *Injector is a valid no-op, so clean runs need no special
+// casing in workload code.
+type Injector struct {
+	Plan
+
+	triggered   bool
+	TriggeredAt time.Duration
+}
+
+// NewInjector wraps a plan for one run.
+func NewInjector(p Plan) *Injector { return &Injector{Plan: p} }
+
+// Triggered reports whether the fault has fired, and when.
+func (in *Injector) Triggered() (bool, time.Duration) {
+	if in == nil {
+		return false, 0
+	}
+	return in.triggered, in.TriggeredAt
+}
+
+// Check is called by workloads from inside a user-function frame at
+// iteration boundaries. If the plan matches this rank and iteration the
+// fault fires: the method never returns for the victim rank(s) of a
+// hang-style fault.
+func (in *Injector) Check(r *mpi.Rank, iter int) {
+	if in == nil || in.Kind == None {
+		return
+	}
+	if iter != in.Iteration {
+		return
+	}
+	victim := r.ID() == in.Rank
+	if in.Kind == NodeFreeze && in.PPN > 0 {
+		victim = r.ID()/in.PPN == in.Rank/in.PPN
+	}
+	if !victim {
+		return
+	}
+	if !in.triggered {
+		in.triggered = true
+		in.TriggeredAt = time.Duration(r.Now())
+	}
+	switch in.Kind {
+	case ComputationHang, NodeFreeze:
+		// Hang inside an application frame: OUT_MPI forever.
+		r.Stack().Push("injected_infinite_loop")
+		r.HangForever()
+	case CommunicationDeadlock:
+		// Block forever inside MPI_Recv on a message nobody sends.
+		r.Recv(r.ID(), deadTag)
+		panic("fault: dead receive completed")
+	}
+}
+
+// FaultyRanks returns the set of ranks the plan makes faulty.
+func (p Plan) FaultyRanks() []int {
+	switch p.Kind {
+	case NodeFreeze:
+		if p.PPN > 0 {
+			node := p.Rank / p.PPN
+			out := make([]int, 0, p.PPN)
+			for r := node * p.PPN; r < (node+1)*p.PPN; r++ {
+				out = append(out, r)
+			}
+			return out
+		}
+		return []int{p.Rank}
+	case None:
+		return nil
+	default:
+		return []int{p.Rank}
+	}
+}

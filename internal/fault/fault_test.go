@@ -1,0 +1,135 @@
+package fault
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"parastack/internal/mpi"
+	"parastack/internal/sim"
+	"parastack/internal/stack"
+)
+
+// runWorkload runs a toy iterative workload of the given size under an
+// injector and returns the world after the engine drains (bounded).
+func runWorkload(t *testing.T, in *Injector, size, iters int) (*sim.Engine, *mpi.World) {
+	t.Helper()
+	eng := sim.NewEngine(11)
+	w := mpi.NewWorld(eng, size, mpi.Latency{})
+	w.Launch(func(r *mpi.Rank) {
+		for it := 0; it < iters; it++ {
+			r.Call("solver_step", func() {
+				r.Compute(10 * time.Millisecond)
+				in.Check(r, it)
+			})
+			r.Allreduce(8)
+		}
+	})
+	eng.Run(time.Hour)
+	return eng, w
+}
+
+func TestNilInjectorIsNoop(t *testing.T) {
+	_, w := runWorkload(t, nil, 4, 5)
+	if !w.Done() {
+		t.Fatal("clean run did not finish")
+	}
+}
+
+func TestNoneKindIsNoop(t *testing.T) {
+	in := NewInjector(Plan{Kind: None, Rank: 0, Iteration: 1})
+	_, w := runWorkload(t, in, 4, 5)
+	if !w.Done() {
+		t.Fatal("run with Kind None did not finish")
+	}
+	if trig, _ := in.Triggered(); trig {
+		t.Fatal("None plan triggered")
+	}
+}
+
+func TestComputationHang(t *testing.T) {
+	in := NewInjector(Plan{Kind: ComputationHang, Rank: 2, Iteration: 3})
+	_, w := runWorkload(t, in, 4, 10)
+	if w.Done() {
+		t.Fatal("hung run reported done")
+	}
+	trig, at := in.Triggered()
+	if !trig {
+		t.Fatal("fault did not trigger")
+	}
+	if at < 30*time.Millisecond {
+		t.Fatalf("triggered at %v, expected after 3 iterations", at)
+	}
+	for _, r := range w.Ranks() {
+		if r.ID() == 2 {
+			if r.Stack().State() != stack.OutMPI {
+				t.Fatalf("faulty rank state = %v, want OUT_MPI", r.Stack().State())
+			}
+			if r.Stack().Top() != "injected_infinite_loop" {
+				t.Fatalf("faulty rank top frame = %q", r.Stack().Top())
+			}
+		} else if r.Stack().State() != stack.InMPI {
+			t.Fatalf("healthy rank %d state = %v, want IN_MPI (stuck in allreduce)",
+				r.ID(), r.Stack().State())
+		}
+	}
+}
+
+func TestCommunicationDeadlock(t *testing.T) {
+	in := NewInjector(Plan{Kind: CommunicationDeadlock, Rank: 1, Iteration: 2})
+	_, w := runWorkload(t, in, 4, 10)
+	if w.Done() {
+		t.Fatal("deadlocked run reported done")
+	}
+	for _, r := range w.Ranks() {
+		if r.Stack().State() != stack.InMPI {
+			t.Fatalf("rank %d state = %v, want IN_MPI", r.ID(), r.Stack().State())
+		}
+	}
+}
+
+func TestNodeFreeze(t *testing.T) {
+	in := NewInjector(Plan{Kind: NodeFreeze, Rank: 5, Iteration: 2, PPN: 4})
+	_, w := runWorkload(t, in, 8, 10)
+	if w.Done() {
+		t.Fatal("frozen run reported done")
+	}
+	// Node of rank 5 with ppn 4 hosts ranks 4..7.
+	for _, r := range w.Ranks() {
+		frozen := r.ID() >= 4
+		if frozen && r.Stack().State() != stack.OutMPI {
+			t.Fatalf("frozen rank %d is %v", r.ID(), r.Stack().State())
+		}
+		if !frozen && r.Stack().State() != stack.InMPI {
+			t.Fatalf("healthy rank %d is %v", r.ID(), r.Stack().State())
+		}
+	}
+	want := []int{4, 5, 6, 7}
+	got := in.FaultyRanks()
+	if len(got) != len(want) {
+		t.Fatalf("FaultyRanks = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("FaultyRanks = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestNewRandomPlanBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		p := NewRandomPlan(rng, ComputationHang, 256, 100, 20, 32)
+		if p.Rank < 0 || p.Rank >= 256 {
+			t.Fatalf("rank %d out of range", p.Rank)
+		}
+		if p.Iteration < 20 || p.Iteration >= 100 {
+			t.Fatalf("iteration %d outside [20,100)", p.Iteration)
+		}
+	}
+	// Degenerate: minIter beyond iters clamps.
+	p := NewRandomPlan(rng, ComputationHang, 4, 3, 10, 1)
+	if p.Iteration != 2 {
+		t.Fatalf("clamped iteration = %d, want 2", p.Iteration)
+	}
+}

@@ -1,0 +1,185 @@
+// Package model implements ParaStack's robust runtime model of the
+// Scrout statistic (paper §3.1–3.2): an empirical distribution of
+// sampled Scrout values that defines what a "suspicion" is (an unusually
+// low Scrout) and a credible upper bound q on the suspicion probability
+// at every sample-size level, via the tolerance-error ladder
+// e ∈ {0.3, 0.2, 0.1, 0.05}.
+package model
+
+import (
+	"math"
+
+	"parastack/internal/stats"
+)
+
+// ToleranceLevels is the paper's ladder of acceptable estimation errors,
+// largest (cheapest) first.
+var ToleranceLevels = []float64{0.3, 0.2, 0.1, 0.05}
+
+// Fit is the model's current suspicion definition.
+type Fit struct {
+	// Threshold t defines a suspicion as Scrout <= t.
+	Threshold float64
+	// P is the achieved empirical suspicion probability Fn(t) = p_m'.
+	P float64
+	// E is the tolerance level the fit was accepted at.
+	E float64
+	// Q = min(P+E, QMax) is the credible (97.5% confidence) upper bound
+	// on the true suspicion probability used by the significance test.
+	Q float64
+	// MinN is the sample size n_m' that justifies this fit.
+	MinN int
+}
+
+// QMax caps q at the paper's ideal upper bound (p ≤ 0.47 at e = 0.3
+// gives q ≤ 0.77). This keeps the geometric verification threshold
+// k = ceil(log_q(alpha)) at most 27 for alpha = 0.001, which is what
+// lets the monitor alternate between its two disjoint process sets
+// every 30 observations and still have time to verify a hang within
+// one set's window (§3.3).
+const QMax = 0.77
+
+// pMaxCandidate rejects suspicion definitions whose achieved empirical
+// probability is so high that q = p + e could not upper-bound the true
+// probability within QMax. Distributions denser than this at the bottom
+// (e.g. an application that is almost always entirely inside MPI) are
+// outside ParaStack's model, like the severe-load-imbalance case the
+// paper excludes in §6.
+const pMaxCandidate = 0.75
+
+// Model accumulates Scrout samples and produces Fits. The zero value is
+// not usable; call New.
+type Model struct {
+	samples []float64
+	maxN    int
+}
+
+// New returns a model retaining at most maxHistory samples (oldest
+// evicted first). maxHistory <= 0 selects the default of 1024.
+func New(maxHistory int) *Model {
+	if maxHistory <= 0 {
+		maxHistory = 1024
+	}
+	return &Model{maxN: maxHistory}
+}
+
+// Add appends one Scrout sample.
+func (m *Model) Add(s float64) {
+	if len(m.samples) == m.maxN {
+		copy(m.samples, m.samples[1:])
+		m.samples = m.samples[:len(m.samples)-1]
+	}
+	m.samples = append(m.samples, s)
+}
+
+// N returns the current sample count.
+func (m *Model) N() int { return len(m.samples) }
+
+// Samples returns the retained samples, oldest first (not a copy; do
+// not mutate).
+func (m *Model) Samples() []float64 { return m.samples }
+
+// Recent returns up to the k most recent samples, oldest first.
+func (m *Model) Recent(k int) []float64 {
+	if k >= len(m.samples) {
+		return m.samples
+	}
+	return m.samples[len(m.samples)-k:]
+}
+
+// Halve decimates the history, keeping every second sample. The paper
+// applies this when the sampling interval I is doubled: samples taken
+// at mean interval I are twice as dense as samples at 2I, so keeping
+// every other one re-normalizes the history to the new interval.
+func (m *Model) Halve() {
+	out := m.samples[:0]
+	for i := 1; i < len(m.samples); i += 2 {
+		out = append(out, m.samples[i])
+	}
+	m.samples = out
+}
+
+// optimalP minimizes n(p) = max(5/p, z²·p(1-p)/e²) over p ∈ (0, 0.5] by
+// ternary search (the function is unimodal: max of a decreasing and an
+// increasing function).
+func optimalP(e float64) float64 {
+	lo, hi := 1e-4, 0.5
+	f := func(p float64) float64 {
+		return math.Max(5/p, stats.Z95Sq*p*(1-p)/(e*e))
+	}
+	for i := 0; i < 80; i++ {
+		m1 := lo + (hi-lo)/3
+		m2 := hi - (hi-lo)/3
+		if f(m1) < f(m2) {
+			hi = m2
+		} else {
+			lo = m1
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// fitAtLevel realizes the tolerance level e on the discrete empirical
+// distribution: around the analytic optimum p_m it considers
+// t1 = max{X : Fn(X) < p_m} and t2 = min{X : Fn(X) >= p_m} and picks
+// the one whose achieved probability needs the smaller sample size
+// (paper §3.2). ok is false when no usable candidate exists (e.g. a
+// degenerate distribution where every candidate probability is ~1).
+func fitAtLevel(ecdf *stats.ECDF, e float64) (Fit, bool) {
+	pm := optimalP(e)
+	t2 := ecdf.Quantile(pm)
+	type cand struct {
+		t, p float64
+		n    int
+	}
+	var cands []cand
+	if p2 := ecdf.F(t2); p2 > 0 && p2 < pMaxCandidate {
+		cands = append(cands, cand{t2, p2, stats.RequiredSampleSize(p2, e)})
+	}
+	if t1, ok := ecdf.Below(t2); ok {
+		if p1 := ecdf.F(t1); p1 > 0 && p1 < pMaxCandidate {
+			cands = append(cands, cand{t1, p1, stats.RequiredSampleSize(p1, e)})
+		}
+	}
+	if len(cands) == 0 {
+		return Fit{}, false
+	}
+	best := cands[0]
+	for _, c := range cands[1:] {
+		if c.n < best.n {
+			best = c
+		}
+	}
+	q := best.p + e
+	if q > QMax {
+		q = QMax
+	}
+	return Fit{Threshold: best.t, P: best.p, E: e, Q: q, MinN: best.n}, true
+}
+
+// Fit returns the finest-tolerance fit the current sample size
+// justifies (n >= n_m' at that level), or ok == false if even the
+// coarsest level (e = 0.3) is not yet justified — the model-building
+// phase of the paper.
+func (m *Model) Fit() (Fit, bool) {
+	n := len(m.samples)
+	if n == 0 {
+		return Fit{}, false
+	}
+	ecdf := stats.NewECDF(m.samples)
+	// Try finest tolerance first: 0.05, 0.1, 0.2, 0.3.
+	for i := len(ToleranceLevels) - 1; i >= 0; i-- {
+		f, ok := fitAtLevel(ecdf, ToleranceLevels[i])
+		if ok && n >= f.MinN {
+			return f, true
+		}
+	}
+	return Fit{}, false
+}
+
+// Ready reports whether enough samples have accumulated for hang
+// detection to be active.
+func (m *Model) Ready() bool {
+	_, ok := m.Fit()
+	return ok
+}

@@ -1,0 +1,209 @@
+package mpi
+
+import (
+	"fmt"
+
+	"parastack/internal/sim"
+)
+
+// CollKind identifies a collective operation.
+type CollKind int
+
+const (
+	CollBarrier CollKind = iota
+	CollBcast
+	CollReduce
+	CollAllreduce
+	CollGather
+	CollAllgather
+	CollScatter
+	CollAlltoall
+)
+
+// String implements fmt.Stringer; values double as MPI frame names.
+func (k CollKind) String() string {
+	switch k {
+	case CollBarrier:
+		return "MPI_Barrier"
+	case CollBcast:
+		return "MPI_Bcast"
+	case CollReduce:
+		return "MPI_Reduce"
+	case CollAllreduce:
+		return "MPI_Allreduce"
+	case CollGather:
+		return "MPI_Gather"
+	case CollAllgather:
+		return "MPI_Allgather"
+	case CollScatter:
+		return "MPI_Scatter"
+	case CollAlltoall:
+		return "MPI_Alltoall"
+	default:
+		return fmt.Sprintf("CollKind(%d)", int(k))
+	}
+}
+
+// syncLike reports whether the collective acts as a synchronization
+// across all members: no rank can complete before every rank has
+// entered. The paper's Figure 6 distinguishes exactly this property
+// (MPI_Allgather is synchronization-like, MPI_Gather is not).
+func (k CollKind) syncLike() bool {
+	switch k {
+	case CollBarrier, CollAllreduce, CollAllgather, CollAlltoall:
+		return true
+	default:
+		return false
+	}
+}
+
+// collOp tracks one in-flight collective on one communicator, matched
+// across members by call sequence number (MPI orders collectives by
+// call order on the communicator). Indices are communicator ranks.
+type collOp struct {
+	kind  CollKind
+	root  int // communicator rank
+	bytes int
+
+	arrived  int
+	seen     []bool
+	waiters  []*sim.Proc // members suspended inside the op
+	rootHere bool
+	rootWait *sim.Proc // root suspended waiting for all (Gather/Reduce)
+	left     int       // members that have completed the op
+}
+
+// collective runs one collective call for member r of communicator c.
+// bytes is the per-rank payload size; root is a communicator rank. It
+// blocks according to the collective's dependence structure and charges
+// the latency model on completion.
+func (c *Comm) collective(r *Rank, kind CollKind, root, bytes int) {
+	defer r.enterMPI(kind.String())()
+
+	me := c.RankOf(r)
+	w := c.w
+	seq := c.collSeq[r.ID()]
+	c.collSeq[r.ID()]++
+	op, ok := c.colls[seq]
+	if !ok {
+		op = &collOp{kind: kind, root: root, bytes: bytes, seen: make([]bool, c.Size())}
+		c.colls[seq] = op
+	}
+	if op.kind != kind || op.root != root {
+		panic(fmt.Sprintf("mpi: collective mismatch at seq %d: rank %d called %s(root=%d), expected %s(root=%d)",
+			seq, r.id, kind, root, op.kind, op.root))
+	}
+	if op.seen[me] {
+		panic(fmt.Sprintf("mpi: rank %d entered collective seq %d twice", r.id, seq))
+	}
+	op.seen[me] = true
+	op.arrived++
+	if bytes > op.bytes {
+		op.bytes = bytes
+	}
+
+	size := c.Size()
+	rng := w.eng.Rand()
+	now := w.eng.Now()
+
+	finish := func() {
+		op.left++
+		if op.left == size {
+			delete(c.colls, seq)
+		}
+	}
+	suspend := func() {
+		r.block = blockState{kind: BlockedCollective, seq: seq, comm: c}
+		r.proc.Suspend()
+		r.block = blockState{}
+	}
+
+	if op.kind.syncLike() {
+		if op.arrived == size {
+			// Last arriver releases everyone.
+			releaseAt := now + w.lat.collective(rng, kind, op.bytes, size)
+			for _, p := range op.waiters {
+				p.WakeAt(releaseAt)
+			}
+			op.waiters = nil
+			r.proc.Sleep(releaseAt - now)
+		} else {
+			op.waiters = append(op.waiters, r.proc)
+			suspend()
+		}
+		finish()
+		return
+	}
+
+	switch kind {
+	case CollBcast, CollScatter:
+		// Non-roots depend on the root; the root leaves immediately
+		// after injecting its payload.
+		if me == root {
+			op.rootHere = true
+			releaseAt := now + w.lat.collective(rng, kind, op.bytes, size)
+			for _, p := range op.waiters {
+				p.WakeAt(releaseAt)
+			}
+			op.waiters = nil
+			r.proc.Sleep(w.lat.SendOverhead)
+		} else if op.rootHere {
+			r.proc.Sleep(w.lat.collective(rng, kind, op.bytes, size))
+		} else {
+			op.waiters = append(op.waiters, r.proc)
+			suspend()
+		}
+		finish()
+	case CollGather, CollReduce:
+		// The root depends on everyone; non-roots deposit and leave.
+		if me == root {
+			if op.arrived == size {
+				r.proc.Sleep(w.lat.collective(rng, kind, op.bytes, size))
+			} else {
+				op.rootWait = r.proc
+				suspend()
+			}
+		} else {
+			if op.rootWait != nil && op.arrived == size {
+				op.rootWait.WakeAt(now + w.lat.collective(rng, kind, op.bytes, size))
+				op.rootWait = nil
+			}
+			r.proc.Sleep(w.lat.SendOverhead)
+		}
+		finish()
+	default:
+		panic("mpi: unhandled collective kind " + kind.String())
+	}
+}
+
+// World-communicator collectives (the plain MPI_COMM_WORLD calls).
+
+// Barrier blocks until all ranks have entered it.
+func (r *Rank) Barrier() { r.w.worldComm.collective(r, CollBarrier, 0, 0) }
+
+// Bcast broadcasts bytes from root; non-roots block until the root has
+// entered, the root returns promptly.
+func (r *Rank) Bcast(root, bytes int) { r.w.worldComm.collective(r, CollBcast, root, bytes) }
+
+// Reduce reduces bytes to root; the root blocks until all ranks have
+// contributed, non-roots return promptly.
+func (r *Rank) Reduce(root, bytes int) { r.w.worldComm.collective(r, CollReduce, root, bytes) }
+
+// Allreduce is the synchronization-like reduction: nobody leaves before
+// everybody has entered.
+func (r *Rank) Allreduce(bytes int) { r.w.worldComm.collective(r, CollAllreduce, 0, bytes) }
+
+// Gather gathers bytes to root (root waits for all, non-roots leave).
+func (r *Rank) Gather(root, bytes int) { r.w.worldComm.collective(r, CollGather, root, bytes) }
+
+// Allgather is the synchronization-like gather.
+func (r *Rank) Allgather(bytes int) { r.w.worldComm.collective(r, CollAllgather, 0, bytes) }
+
+// Scatter distributes from root (non-roots wait for the root).
+func (r *Rank) Scatter(root, bytes int) { r.w.worldComm.collective(r, CollScatter, root, bytes) }
+
+// Alltoall is the synchronization-like total exchange; its latency
+// grows superlinearly with the per-rank payload (bisection pressure),
+// which is what makes FT-style transposes occupy every rank IN_MPI for
+// long stretches at large problem sizes.
+func (r *Rank) Alltoall(bytes int) { r.w.worldComm.collective(r, CollAlltoall, 0, bytes) }

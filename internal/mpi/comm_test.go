@@ -1,0 +1,176 @@
+package mpi
+
+import (
+	"testing"
+	"time"
+
+	"parastack/internal/sim"
+)
+
+func TestSplitGridComms(t *testing.T) {
+	// 4×4 grid: row communicators via color=row, key=col.
+	eng := sim.NewEngine(1)
+	w := NewWorld(eng, 16, Latency{})
+	rows := w.Split(func(r int) int { return r / 4 }, func(r int) int { return r % 4 })
+	cols := w.Split(func(r int) int { return r % 4 }, func(r int) int { return r / 4 })
+	for r := 0; r < 16; r++ {
+		if rows[r].Size() != 4 || cols[r].Size() != 4 {
+			t.Fatalf("rank %d comm sizes %d, %d", r, rows[r].Size(), cols[r].Size())
+		}
+		if rows[r].RankOf(w.Rank(r)) != r%4 {
+			t.Fatalf("rank %d row-comm rank = %d", r, rows[r].RankOf(w.Rank(r)))
+		}
+		if cols[r].RankOf(w.Rank(r)) != r/4 {
+			t.Fatalf("rank %d col-comm rank = %d", r, cols[r].RankOf(w.Rank(r)))
+		}
+	}
+	// Ranks 0..3 share a row communicator object.
+	if rows[0] != rows[3] || rows[0] == rows[4] {
+		t.Fatal("row communicator identity wrong")
+	}
+}
+
+func TestSplitUndefinedColor(t *testing.T) {
+	eng := sim.NewEngine(2)
+	w := NewWorld(eng, 8, Latency{})
+	comms := w.Split(func(r int) int {
+		if r%2 == 0 {
+			return 0
+		}
+		return -1 // MPI_UNDEFINED
+	}, nil)
+	for r := 0; r < 8; r++ {
+		if r%2 == 0 && comms[r] == nil {
+			t.Fatalf("even rank %d has no comm", r)
+		}
+		if r%2 == 1 && comms[r] != nil {
+			t.Fatalf("odd rank %d unexpectedly in a comm", r)
+		}
+	}
+}
+
+func TestSubCommBarrierOnlySyncsMembers(t *testing.T) {
+	eng := sim.NewEngine(3)
+	w := NewWorld(eng, 8, Latency{})
+	sub := w.NewComm([]int{0, 1, 2, 3})
+	var outsiderDone, memberDone sim.Time
+	w.Launch(func(r *Rank) {
+		switch {
+		case r.ID() < 4:
+			if r.ID() == 3 {
+				r.Compute(time.Second) // straggler inside the sub-comm
+			}
+			sub.Barrier(r)
+			if r.ID() == 0 {
+				memberDone = r.Now()
+			}
+		case r.ID() == 7:
+			r.Compute(10 * time.Millisecond)
+			outsiderDone = r.Now()
+		}
+	})
+	eng.RunAll()
+	if !w.Done() {
+		t.Fatal("world did not complete")
+	}
+	if memberDone < time.Second {
+		t.Fatalf("member left sub-barrier at %v before straggler", memberDone)
+	}
+	if outsiderDone >= time.Second {
+		t.Fatal("non-member was blocked by a sub-communicator barrier")
+	}
+}
+
+func TestConcurrentSubCommCollectives(t *testing.T) {
+	// Row communicators run independent collectives at the same time
+	// without cross-matching.
+	eng := sim.NewEngine(4)
+	w := NewWorld(eng, 16, Latency{})
+	rows := w.Split(func(r int) int { return r / 4 }, func(r int) int { return r % 4 })
+	done := 0
+	w.Launch(func(r *Rank) {
+		c := rows[r.ID()]
+		for it := 0; it < 20; it++ {
+			r.Compute(time.Duration(1+r.ID()%5) * time.Millisecond)
+			c.Allreduce(r, 64)
+			c.Bcast(r, it%4, 1024)
+		}
+		done++
+	})
+	eng.RunAll()
+	if done != 16 {
+		t.Fatalf("completed %d/16", done)
+	}
+}
+
+func TestCommSendRecvRankTranslation(t *testing.T) {
+	eng := sim.NewEngine(5)
+	w := NewWorld(eng, 8, Latency{})
+	sub := w.NewComm([]int{6, 4, 2}) // comm ranks 0,1,2 → world 6,4,2
+	var got int
+	w.Launch(func(r *Rank) {
+		switch r.ID() {
+		case 6: // comm rank 0
+			sub.Send(r, 2, 9, 512) // to comm rank 2 = world rank 2
+		case 2: // comm rank 2
+			got = sub.Recv(r, 0, 9) // from comm rank 0 = world rank 6
+		}
+	})
+	eng.RunAll()
+	if got != 512 {
+		t.Fatalf("recv got %d bytes", got)
+	}
+}
+
+func TestSubCommHangVisibleInBlockInfo(t *testing.T) {
+	// A member missing from a sub-communicator collective leaves the
+	// others blocked; BlockInfo names the missing world rank.
+	eng := sim.NewEngine(6)
+	w := NewWorld(eng, 4, Latency{})
+	sub := w.NewComm([]int{0, 1, 2})
+	w.Launch(func(r *Rank) {
+		switch r.ID() {
+		case 0, 1:
+			sub.Allreduce(r, 8)
+		case 2:
+			r.Proc().Suspend() // never arrives (simulated stuck rank)
+		case 3:
+			// Not a member; finishes immediately.
+		}
+	})
+	eng.Run(time.Minute)
+	info := w.Rank(0).BlockInfo()
+	if info.Kind != BlockedCollective {
+		t.Fatalf("kind = %v", info.Kind)
+	}
+	if len(info.WaitingFor) != 1 || info.WaitingFor[0] != 2 {
+		t.Fatalf("WaitingFor = %v, want [2]", info.WaitingFor)
+	}
+}
+
+func TestCommMembershipPanics(t *testing.T) {
+	eng := sim.NewEngine(7)
+	w := NewWorld(eng, 4, Latency{})
+	sub := w.NewComm([]int{0, 1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RankOf for non-member must panic")
+		}
+	}()
+	sub.RankOf(w.Rank(3))
+}
+
+func TestNewCommValidation(t *testing.T) {
+	eng := sim.NewEngine(8)
+	w := NewWorld(eng, 4, Latency{})
+	for _, bad := range [][]int{{}, {0, 0}, {9}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewComm(%v) must panic", bad)
+				}
+			}()
+			w.NewComm(bad)
+		}()
+	}
+}

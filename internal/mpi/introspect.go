@@ -1,0 +1,107 @@
+package mpi
+
+import (
+	"fmt"
+
+	"parastack/internal/sim"
+)
+
+// BlockKind says what, if anything, a rank is currently blocked on.
+// It powers the progress-dependency analysis of package diagnose (the
+// paper's Figure 6 "traditional" faulty-process identification and the
+// STAT-style grouping the workflow of Figure 1 hands off to).
+type BlockKind int
+
+const (
+	// NotBlocked: the rank is computing, sleeping, or polling.
+	NotBlocked BlockKind = iota
+	// BlockedRecv: suspended in a blocking receive (or Wait on a
+	// receive request) with no matching message.
+	BlockedRecv
+	// BlockedCollective: suspended inside a collective waiting for
+	// other ranks to arrive.
+	BlockedCollective
+	// Terminated: the rank's body returned.
+	Terminated
+)
+
+// String implements fmt.Stringer.
+func (k BlockKind) String() string {
+	switch k {
+	case NotBlocked:
+		return "not-blocked"
+	case BlockedRecv:
+		return "blocked-recv"
+	case BlockedCollective:
+		return "blocked-collective"
+	case Terminated:
+		return "terminated"
+	default:
+		return fmt.Sprintf("BlockKind(%d)", int(k))
+	}
+}
+
+// BlockInfo describes a rank's blocking state at an instant.
+type BlockInfo struct {
+	Kind BlockKind
+	// WaitingFor lists the ranks this rank is directly waiting on:
+	// the (known) source of a blocked receive, or the ranks that have
+	// not yet arrived at the collective it is stuck in. Empty for
+	// AnySource receives and for NotBlocked/Terminated.
+	WaitingFor []int
+	// Detail is a human-readable description ("MPI_Recv src=3 tag=7",
+	// "MPI_Allreduce seq=41 missing 2 ranks").
+	Detail string
+}
+
+// blockState tracks what the rank most recently suspended on; it is
+// maintained by the blocking paths of p2p.go and coll.go.
+type blockState struct {
+	kind BlockKind
+	req  *Request // for BlockedRecv
+	seq  uint64   // for BlockedCollective
+	comm *Comm    // communicator of the blocking collective
+}
+
+// BlockInfo reports what the rank is blocked on right now. It is safe
+// to call from observers (monitors, diagnosis tools) at any time.
+func (r *Rank) BlockInfo() BlockInfo {
+	if r.proc.State() == sim.ProcDone {
+		return BlockInfo{Kind: Terminated}
+	}
+	if r.proc.State() != sim.ProcSuspended {
+		return BlockInfo{Kind: NotBlocked}
+	}
+	switch r.block.kind {
+	case BlockedRecv:
+		q := r.block.req
+		info := BlockInfo{Kind: BlockedRecv}
+		if q != nil {
+			if q.src != AnySource {
+				info.WaitingFor = []int{q.src}
+			}
+			info.Detail = fmt.Sprintf("MPI_Recv src=%d tag=%d", q.src, q.tag)
+		}
+		return info
+	case BlockedCollective:
+		info := BlockInfo{Kind: BlockedCollective}
+		c := r.block.comm
+		if c == nil {
+			return info
+		}
+		if op, ok := c.colls[r.block.seq]; ok {
+			for commRank, seen := range op.seen {
+				if !seen {
+					info.WaitingFor = append(info.WaitingFor, c.ranks[commRank])
+				}
+			}
+			info.Detail = fmt.Sprintf("%s seq=%d missing %d ranks",
+				op.kind, r.block.seq, len(info.WaitingFor))
+		}
+		return info
+	default:
+		// Suspended for another reason (injected hang uses Suspend
+		// directly): not blocked inside MPI.
+		return BlockInfo{Kind: NotBlocked, Detail: "suspended outside MPI"}
+	}
+}

@@ -1,0 +1,254 @@
+package mpi
+
+import (
+	"fmt"
+	"time"
+
+	"parastack/internal/sim"
+)
+
+// Request is a non-blocking communication handle, as returned by Isend
+// and Irecv and consumed by Wait / Test.
+type Request struct {
+	rank *Rank
+
+	isRecv   bool
+	src, tag int // matching criteria for receives
+
+	done   bool
+	msg    *message
+	waiter *sim.Proc // proc blocked in Wait on this request
+}
+
+// Done reports whether the request has completed. Unlike Test, it does
+// not model the cost or the stack footprint of an MPI_Test call; it is
+// for assertions and observers.
+func (q *Request) Done() bool { return q.done }
+
+// complete marks the request done at the current virtual time and wakes
+// a waiter if one is parked in Wait.
+func (q *Request) complete() {
+	if q.done {
+		panic("mpi: request completed twice")
+	}
+	q.done = true
+	if q.waiter != nil {
+		p := q.waiter
+		q.waiter = nil
+		// A Waitany waiter is registered on several requests; a sibling
+		// completion at the same instant may already have woken it.
+		if p.State() == sim.ProcSuspended {
+			p.Wake()
+		}
+	}
+}
+
+// Send performs a blocking standard-mode send. The simulation uses
+// eager semantics: the message is buffered and the call returns after
+// the sender-side overhead, independent of whether a receive is posted
+// (this matches small/medium messages in real MPI implementations, and
+// is the style the NPB-like workloads use).
+func (r *Rank) Send(dst, tag, bytes int) {
+	defer r.enterMPI("MPI_Send")()
+	r.startSend(dst, tag, bytes)
+	r.proc.Sleep(r.w.lat.SendOverhead)
+}
+
+// Isend starts a non-blocking send and returns its request. Eager
+// buffering means the request is immediately completable; Wait/Test on
+// it still model their call cost.
+func (r *Rank) Isend(dst, tag, bytes int) *Request {
+	defer r.enterMPI("MPI_Isend")()
+	r.startSend(dst, tag, bytes)
+	return &Request{rank: r, done: true}
+}
+
+// startSend computes the arrival time and delivers the message to the
+// destination's matching engine.
+func (r *Rank) startSend(dst, tag, bytes int) {
+	if dst < 0 || dst >= len(r.w.ranks) {
+		panic(fmt.Sprintf("mpi: send to invalid rank %d", dst))
+	}
+	m := &message{
+		src:      r.id,
+		tag:      tag,
+		bytes:    bytes,
+		arriveAt: r.proc.Now() + r.w.lat.p2p(r.w.eng.Rand(), bytes),
+	}
+	r.msgSeq++
+	r.w.ranks[dst].deliver(m)
+}
+
+// deliver runs in the sender's context: match the message against the
+// destination's posted receives (in post order), or queue it as
+// unexpected.
+func (dst *Rank) deliver(m *message) {
+	for _, q := range dst.posted {
+		if q.msg == nil && q.matches(m) {
+			q.attach(m)
+			return
+		}
+	}
+	dst.unexpected = append(dst.unexpected, m)
+}
+
+// matches reports whether a posted receive accepts a message.
+func (q *Request) matches(m *message) bool {
+	return (q.src == AnySource || q.src == m.src) &&
+		(q.tag == AnyTag || q.tag == m.tag)
+}
+
+// attach binds a message to a receive request and schedules completion
+// at the message's arrival time (plus receive overhead).
+func (q *Request) attach(m *message) {
+	q.msg = m
+	eng := q.rank.w.eng
+	at := m.arriveAt + q.rank.w.lat.RecvOverhead
+	if at < eng.Now() {
+		at = eng.Now()
+	}
+	eng.At(at, q.complete)
+}
+
+// Irecv posts a non-blocking receive for (src, tag); use AnySource /
+// AnyTag as wildcards. Matching follows MPI rules: posted receives
+// match in post order; unexpected messages are consumed in delivery
+// order per matching criteria.
+func (r *Rank) Irecv(src, tag int) *Request {
+	defer r.enterMPI("MPI_Irecv")()
+	return r.postRecv(src, tag)
+}
+
+func (r *Rank) postRecv(src, tag int) *Request {
+	q := &Request{rank: r, isRecv: true, src: src, tag: tag}
+	// First try the unexpected queue.
+	for i, m := range r.unexpected {
+		if q.matches(m) {
+			r.unexpected = append(r.unexpected[:i], r.unexpected[i+1:]...)
+			q.attach(m)
+			r.posted = append(r.posted, q)
+			return q
+		}
+	}
+	r.posted = append(r.posted, q)
+	return q
+}
+
+// retire removes a completed request from the posted list.
+func (r *Rank) retire(q *Request) {
+	for i, p := range r.posted {
+		if p == q {
+			r.posted = append(r.posted[:i], r.posted[i+1:]...)
+			return
+		}
+	}
+}
+
+// Recv performs a blocking receive, returning the payload size of the
+// matched message. The rank stays IN_MPI (inside an MPI_Recv frame)
+// until the message arrives.
+func (r *Rank) Recv(src, tag int) int {
+	defer r.enterMPI("MPI_Recv")()
+	q := r.postRecv(src, tag)
+	r.await(q)
+	r.retire(q)
+	return q.msg.bytes
+}
+
+// Wait blocks until the request completes (MPI_Wait).
+func (r *Rank) Wait(q *Request) {
+	defer r.enterMPI("MPI_Wait")()
+	r.await(q)
+	if q.isRecv {
+		r.retire(q)
+	}
+}
+
+// Waitall waits for every request in order.
+func (r *Rank) Waitall(qs []*Request) {
+	defer r.enterMPI("MPI_Waitall")()
+	for _, q := range qs {
+		r.await(q)
+		if q.isRecv {
+			r.retire(q)
+		}
+	}
+}
+
+// await parks the rank until q completes. Must run inside an MPI frame.
+func (r *Rank) await(q *Request) {
+	if q.rank != r {
+		panic("mpi: waiting on another rank's request")
+	}
+	if !q.done {
+		q.waiter = r.proc
+		if q.isRecv {
+			r.block = blockState{kind: BlockedRecv, req: q}
+		}
+		r.proc.Suspend()
+		r.block = blockState{}
+	}
+}
+
+// Test models MPI_Test: a cheap, non-blocking completion check that
+// momentarily puts the rank IN_MPI (the busy-wait pattern the paper
+// calls the third communication style). It retires completed receives.
+func (r *Rank) Test(q *Request) bool {
+	defer r.enterMPI("MPI_Test")()
+	r.proc.Sleep(r.w.lat.TestOverhead)
+	if q.done && q.isRecv {
+		r.retire(q)
+	}
+	return q.done
+}
+
+// TestFor models a dense polling slice: the rank repeatedly calls
+// MPI_Test back-to-back for up to the given duration (one MPI_Test
+// frame covering the slice, since the loop spends nearly all its time
+// inside the library) and reports whether the request completed. This
+// is the cheap way to simulate HPL-style busy-wait loops whose duty
+// cycle is dominated by the progress engine, without one simulation
+// event per poll iteration.
+func (r *Rank) TestFor(q *Request, slice time.Duration) bool {
+	defer r.enterMPI("MPI_Test")()
+	if q.done {
+		if q.isRecv {
+			r.retire(q)
+		}
+		return true
+	}
+	r.proc.Sleep(slice)
+	if q.done && q.isRecv {
+		r.retire(q)
+	}
+	return q.done
+}
+
+// Iprobe models MPI_Iprobe: check for a matching deliverable message
+// without consuming it. Only messages that have already arrived
+// (arrival time passed) are visible, as in a real progress engine.
+func (r *Rank) Iprobe(src, tag int) bool {
+	defer r.enterMPI("MPI_Iprobe")()
+	r.proc.Sleep(r.w.lat.TestOverhead)
+	now := r.proc.Now()
+	for _, m := range r.unexpected {
+		if m.arriveAt <= now &&
+			(src == AnySource || src == m.src) &&
+			(tag == AnyTag || tag == m.tag) {
+			return true
+		}
+	}
+	return false
+}
+
+// SendRecv exchanges messages with two peers in one call (the halo
+// pattern): send to dst and receive from src, overlapping the two.
+func (r *Rank) SendRecv(dst, sendTag, bytes, src, recvTag int) int {
+	defer r.enterMPI("MPI_Sendrecv")()
+	q := r.postRecv(src, recvTag)
+	r.startSend(dst, sendTag, bytes)
+	r.proc.Sleep(r.w.lat.SendOverhead)
+	r.await(q)
+	r.retire(q)
+	return q.msg.bytes
+}

@@ -1,0 +1,171 @@
+package mpi
+
+import (
+	"testing"
+	"time"
+
+	"parastack/internal/sim"
+	"parastack/internal/stack"
+)
+
+func TestSsendBlocksUntilMatched(t *testing.T) {
+	eng := sim.NewEngine(1)
+	w := NewWorld(eng, 2, Latency{})
+	var sendDone sim.Time
+	w.Launch(func(r *Rank) {
+		switch r.ID() {
+		case 0:
+			r.Ssend(1, 7, 4096)
+			sendDone = r.Now()
+		case 1:
+			r.Compute(2 * time.Second)
+			r.SsendMatch(0, 7)
+		}
+	})
+	eng.RunAll()
+	if !w.Done() {
+		t.Fatal("ssend exchange did not complete")
+	}
+	if sendDone < 2*time.Second {
+		t.Fatalf("Ssend returned at %v, before the receive at 2s", sendDone)
+	}
+}
+
+func TestSsendHeadToHeadDeadlock(t *testing.T) {
+	// The classic: both ranks synchronous-send first. Neither receive
+	// is ever posted, so both block IN_MPI forever.
+	eng := sim.NewEngine(2)
+	w := NewWorld(eng, 2, Latency{})
+	w.Launch(func(r *Rank) {
+		peer := 1 - r.ID()
+		r.Ssend(peer, 0, 1024)
+		r.SsendMatch(peer, 0)
+	})
+	eng.Run(time.Minute)
+	if w.Done() {
+		t.Fatal("head-to-head Ssend completed; it must deadlock")
+	}
+	for _, r := range w.Ranks() {
+		if r.Stack().State() != stack.InMPI {
+			t.Fatalf("rank %d not IN_MPI during Ssend deadlock", r.ID())
+		}
+	}
+}
+
+func TestProbeBlocksUntilMessage(t *testing.T) {
+	eng := sim.NewEngine(3)
+	w := NewWorld(eng, 2, Latency{})
+	var probedAt sim.Time
+	w.Launch(func(r *Rank) {
+		switch r.ID() {
+		case 0:
+			r.Probe(1, 5)
+			probedAt = r.Now()
+			r.Recv(1, 5)
+		case 1:
+			r.Compute(3 * time.Second)
+			r.Send(0, 5, 64)
+		}
+	})
+	eng.RunAll()
+	if !w.Done() {
+		t.Fatal("probe+recv did not complete")
+	}
+	if probedAt < 3*time.Second {
+		t.Fatalf("Probe returned at %v before the message existed", probedAt)
+	}
+}
+
+func TestWaitanyReturnsFirstCompletion(t *testing.T) {
+	eng := sim.NewEngine(4)
+	w := NewWorld(eng, 3, Latency{})
+	var first int
+	w.Launch(func(r *Rank) {
+		switch r.ID() {
+		case 0:
+			qs := []*Request{r.Irecv(1, 0), r.Irecv(2, 0)}
+			first = r.Waitany(qs)
+			r.Wait(qs[1-first])
+		case 1:
+			r.Compute(5 * time.Second) // slow sender
+			r.Send(0, 0, 8)
+		case 2:
+			r.Compute(time.Second) // fast sender
+			r.Send(0, 0, 8)
+		}
+	})
+	eng.RunAll()
+	if !w.Done() {
+		t.Fatal("waitany flow did not complete")
+	}
+	if first != 1 {
+		t.Fatalf("Waitany returned index %d, want 1 (the fast sender's request)", first)
+	}
+}
+
+func TestWaitanySimultaneousCompletions(t *testing.T) {
+	// Two messages arriving at the same instant must not double-wake.
+	eng := sim.NewEngine(5)
+	w := NewWorld(eng, 3, Latency{Jitter: 1e-9})
+	w.Launch(func(r *Rank) {
+		switch r.ID() {
+		case 0:
+			qs := []*Request{r.Irecv(1, 0), r.Irecv(2, 0)}
+			i := r.Waitany(qs)
+			r.Wait(qs[1-i])
+		default:
+			r.Send(0, 0, 8)
+		}
+	})
+	eng.RunAll()
+	if !w.Done() {
+		t.Fatal("simultaneous completions hung Waitany")
+	}
+}
+
+func TestWaitallTimeout(t *testing.T) {
+	eng := sim.NewEngine(6)
+	w := NewWorld(eng, 2, Latency{})
+	var timedOut, eventually bool
+	w.Launch(func(r *Rank) {
+		switch r.ID() {
+		case 0:
+			q := r.Irecv(1, 0)
+			timedOut = !r.WaitallTimeout([]*Request{q}, 500*time.Millisecond)
+			eventually = r.WaitallTimeout([]*Request{q}, time.Minute)
+		case 1:
+			r.Compute(2 * time.Second)
+			r.Send(0, 0, 8)
+		}
+	})
+	eng.RunAll()
+	if !timedOut {
+		t.Fatal("WaitallTimeout(500ms) should have timed out")
+	}
+	if !eventually {
+		t.Fatal("second WaitallTimeout should have succeeded")
+	}
+}
+
+func TestBarrierize(t *testing.T) {
+	eng := sim.NewEngine(7)
+	w := NewWorld(eng, 4, Latency{})
+	maxPhase0 := sim.Time(0)
+	minPhase1 := sim.Time(1 << 62)
+	w.Launch(func(r *Rank) {
+		r.Barrierize(func() {
+			r.Compute(time.Duration(r.ID()+1) * 100 * time.Millisecond)
+			if r.Now() > maxPhase0 {
+				maxPhase0 = r.Now()
+			}
+		})
+		if r.Now() < minPhase1 {
+			minPhase1 = r.Now()
+		}
+	})
+	eng.RunAll()
+	if minPhase1 < maxPhase0 {
+		t.Fatalf("barrier violated: phase1 started at %v before phase0 ended at %v",
+			minPhase1, maxPhase0)
+	}
+}

@@ -1,0 +1,100 @@
+package mpi
+
+import (
+	"time"
+
+	"parastack/internal/sim"
+	"parastack/internal/stack"
+)
+
+// Rank is one simulated MPI process. All communication methods must be
+// called from the rank's own body (the function passed to Launch);
+// observer methods (Stack, Proc, InMPI) may be called from anywhere in
+// the simulation, e.g. by a monitor process.
+type Rank struct {
+	w     *World
+	id    int
+	proc  *sim.Proc
+	stack *stack.Stack
+
+	posted     []*Request // posted receive requests, in post order
+	unexpected []*message // delivered but unmatched messages, in delivery order
+
+	msgSeq uint64 // per-rank send sequence, for deterministic tie-breaks
+
+	block blockState // what the rank last suspended on (see introspect.go)
+
+	threads []*Thread // live worker threads of the current parallel region
+
+	hung bool // set by HangForever; the rank never runs again
+}
+
+// message is a point-to-point message in flight or queued.
+type message struct {
+	src, tag int
+	bytes    int
+	arriveAt sim.Time
+}
+
+// ID returns the rank number (0-based).
+func (r *Rank) ID() int { return r.id }
+
+// World returns the world the rank belongs to.
+func (r *Rank) World() *World { return r.w }
+
+// Proc returns the simulated process backing the rank.
+func (r *Rank) Proc() *sim.Proc { return r.proc }
+
+// Stack returns the rank's simulated call stack. Observers may read it;
+// only the rank itself mutates it.
+func (r *Rank) Stack() *stack.Stack { return r.stack }
+
+// InMPI reports whether the rank is currently inside an MPI call.
+func (r *Rank) InMPI() bool { return r.stack.State() == stack.InMPI }
+
+// Hung reports whether HangForever was called on this rank.
+func (r *Rank) Hung() bool { return r.hung }
+
+// Now returns current virtual time.
+func (r *Rank) Now() sim.Time { return r.proc.Now() }
+
+// Compute advances the rank through d of application computation,
+// applying the world's perturbation hook (platform noise, injected
+// slowdowns). The rank's stack is left untouched: whatever user frames
+// the workload pushed remain visible, so the rank samples as OUT_MPI.
+func (r *Rank) Compute(d time.Duration) {
+	if r.w.Perturb != nil {
+		d = r.w.Perturb(r, d)
+	}
+	r.proc.Sleep(d)
+}
+
+// Call pushes a user stack frame named name, runs fn, and pops the
+// frame. Workloads use it to give their phases recognizable stacks.
+func (r *Rank) Call(name string, fn func()) {
+	r.stack.Push(name)
+	defer r.stack.Pop()
+	fn()
+}
+
+// HangForever parks the rank permanently, simulating a computation
+// error (infinite loop, stuck IO, node freeze) at the current stack
+// position. The rank never resumes; its stack stays frozen exactly as
+// the paper's faulty process would appear to a stack sampler.
+func (r *Rank) HangForever() {
+	r.hung = true
+	r.block = blockState{}
+	r.proc.Suspend()                // never woken
+	panic("mpi: hung rank resumed") // unreachable unless a bug wakes it
+}
+
+// Spin models one iteration of a user-level busy-wait loop body: a tiny
+// slice of application code between request tests. It is ordinary
+// computation — the rank is OUT_MPI while spinning.
+func (r *Rank) Spin(d time.Duration) { r.Compute(d) }
+
+// enterMPI pushes an MPI frame and returns a func that pops it.
+func (r *Rank) enterMPI(name string) func() {
+	r.stack.Push(name)
+	return r.stack.Pop
+}

@@ -1,0 +1,114 @@
+package mpi
+
+import (
+	"fmt"
+	"time"
+
+	"parastack/internal/sim"
+	"parastack/internal/stack"
+)
+
+// Thread is one worker thread of a hybrid (MPI+OpenMP / MPI+pthreads)
+// rank, as discussed in the paper's §6. The simulation implements the
+// MPI_THREAD_SINGLE / MPI_THREAD_FUNNELED levels: worker threads
+// compute, only the master (the rank body itself) communicates. The
+// paper's redefined runtime state — a process is IN_MPI if at least one
+// of its threads is inside MPI — is what Rank.Observe reports, so the
+// monitor needs no changes for hybrid applications.
+type Thread struct {
+	rank *Rank
+	id   int
+	proc *sim.Proc
+	stk  *stack.Stack
+}
+
+// ID returns the thread index within its rank (0-based; the master is
+// not a Thread).
+func (t *Thread) ID() int { return t.id }
+
+// Rank returns the owning rank.
+func (t *Thread) Rank() *Rank { return t.rank }
+
+// Stack returns the thread's simulated call stack.
+func (t *Thread) Stack() *stack.Stack { return t.stk }
+
+// Compute advances the thread through application computation, subject
+// to the same platform perturbations as rank-level computation.
+func (t *Thread) Compute(d time.Duration) {
+	if t.rank.w.Perturb != nil {
+		d = t.rank.w.Perturb(t.rank, d)
+	}
+	t.proc.Sleep(d)
+}
+
+// Call pushes a user frame around fn, like Rank.Call.
+func (t *Thread) Call(name string, fn func()) {
+	t.stk.Push(name)
+	defer t.stk.Pop()
+	fn()
+}
+
+// HangForever parks the thread permanently — the paper's "local
+// deadlock within a process due to incorrect thread-level
+// synchronization". The enclosing ParallelRegion never joins, so the
+// whole rank stalls in application code and samples OUT_MPI.
+func (t *Thread) HangForever() {
+	t.stk.Push("thread_deadlock")
+	t.proc.Suspend()
+	panic("mpi: hung thread resumed")
+}
+
+// ParallelRegion runs an OpenMP-style fork/join region: n worker
+// threads execute body concurrently (in virtual time) while the master
+// blocks in application code until all of them return. The master's
+// stack shows the region frame, so a sampler sees the rank OUT_MPI for
+// the duration — including forever, if a worker deadlocks.
+func (r *Rank) ParallelRegion(n int, body func(t *Thread)) {
+	if n <= 0 {
+		return
+	}
+	r.stack.Push("omp_parallel_region")
+	defer r.stack.Pop()
+
+	remaining := n
+	var joinWait *sim.Proc
+	for i := 0; i < n; i++ {
+		t := &Thread{rank: r, id: i, stk: stack.New("thread_main")}
+		r.threads = append(r.threads, t)
+		t.proc = r.w.eng.SpawnNow(fmt.Sprintf("rank-%d-thread-%d", r.id, i), func(p *sim.Proc) {
+			t.proc = p
+			body(t)
+			remaining--
+			if remaining == 0 && joinWait != nil {
+				joinWait.Wake()
+			}
+		})
+	}
+	if remaining > 0 {
+		joinWait = r.proc
+		r.proc.Suspend()
+	}
+	// Retire this region's threads from the live set.
+	r.threads = r.threads[:len(r.threads)-n]
+}
+
+// Observe captures the rank's merged runtime state for a sampler: the
+// paper's §6 rule (IN_MPI if at least one thread is inside MPI, with
+// the master thread counted). Counters and versions are summed so the
+// transient-slowdown comparison still works on hybrid ranks.
+func (r *Rank) Observe() stack.Trace {
+	tr := r.stack.Observe()
+	for _, t := range r.threads {
+		tt := t.stk.Observe()
+		tr.Version += tt.Version
+		tr.NonPollEntries += tt.NonPollEntries
+		tr.PollEntries += tt.PollEntries
+		if tt.State == stack.InMPI {
+			tr.State = stack.InMPI
+			if tr.TopMPI == "" {
+				tr.TopMPI = tt.TopMPI
+			}
+		}
+	}
+	return tr
+}

@@ -1,0 +1,123 @@
+package mpi
+
+import (
+	"testing"
+	"time"
+
+	"parastack/internal/sim"
+	"parastack/internal/stack"
+)
+
+func TestParallelRegionJoins(t *testing.T) {
+	eng := sim.NewEngine(1)
+	w := NewWorld(eng, 2, Latency{})
+	var joinedAt sim.Time
+	w.Launch(func(r *Rank) {
+		if r.ID() == 0 {
+			r.ParallelRegion(4, func(th *Thread) {
+				th.Compute(time.Duration(th.ID()+1) * 100 * time.Millisecond)
+			})
+			joinedAt = r.Now()
+		}
+		r.Barrier()
+	})
+	eng.RunAll()
+	if !w.Done() {
+		t.Fatal("hybrid world did not complete")
+	}
+	// Join must wait for the slowest worker (400ms).
+	if joinedAt != 400*time.Millisecond {
+		t.Fatalf("joined at %v, want 400ms", joinedAt)
+	}
+}
+
+func TestParallelRegionMasterOutMPI(t *testing.T) {
+	eng := sim.NewEngine(2)
+	w := NewWorld(eng, 1, Latency{})
+	w.Launch(func(r *Rank) {
+		r.ParallelRegion(2, func(th *Thread) {
+			th.Compute(time.Second)
+		})
+	})
+	eng.Run(500 * time.Millisecond)
+	r := w.Rank(0)
+	if r.Observe().State != stack.OutMPI {
+		t.Fatal("master inside a compute-only parallel region must be OUT_MPI")
+	}
+	if r.Stack().Top() != "omp_parallel_region" {
+		t.Fatalf("master top frame = %q", r.Stack().Top())
+	}
+	eng.RunAll()
+}
+
+func TestThreadDeadlockStallsRank(t *testing.T) {
+	// The paper's §1 thread-level local deadlock: one worker never
+	// returns, the region never joins, the rank samples OUT_MPI forever
+	// while its peers pile into the barrier — a computation-error hang.
+	eng := sim.NewEngine(3)
+	w := NewWorld(eng, 4, Latency{})
+	w.Launch(func(r *Rank) {
+		for it := 0; it < 10; it++ {
+			r.ParallelRegion(2, func(th *Thread) {
+				if r.ID() == 1 && it == 3 && th.ID() == 1 {
+					th.HangForever()
+				}
+				th.Compute(10 * time.Millisecond)
+			})
+			r.Barrier()
+		}
+	})
+	eng.Run(time.Minute)
+	if w.Done() {
+		t.Fatal("deadlocked hybrid world completed")
+	}
+	if got := w.Rank(1).Observe().State; got != stack.OutMPI {
+		t.Fatalf("stalled hybrid rank state = %v, want OUT_MPI", got)
+	}
+	for _, id := range []int{0, 2, 3} {
+		if got := w.Rank(id).Observe().State; got != stack.InMPI {
+			t.Fatalf("rank %d state = %v, want IN_MPI", id, got)
+		}
+	}
+}
+
+func TestObserveMergesThreadState(t *testing.T) {
+	// Direct check of the §6 rule with a synthetic thread stack.
+	eng := sim.NewEngine(4)
+	w := NewWorld(eng, 1, Latency{})
+	r := w.Rank(0)
+	th := &Thread{rank: r, id: 0, stk: stack.New("thread_main")}
+	r.threads = append(r.threads, th)
+	if r.Observe().State != stack.OutMPI {
+		t.Fatal("all threads out of MPI must observe OUT_MPI")
+	}
+	th.stk.Push("MPI_Allreduce")
+	tr := r.Observe()
+	if tr.State != stack.InMPI {
+		t.Fatal("one thread inside MPI must observe IN_MPI")
+	}
+	if tr.TopMPI != "MPI_Allreduce" {
+		t.Fatalf("merged TopMPI = %q", tr.TopMPI)
+	}
+}
+
+func TestNestedRegionsSequential(t *testing.T) {
+	eng := sim.NewEngine(5)
+	w := NewWorld(eng, 1, Latency{})
+	total := 0
+	w.Launch(func(r *Rank) {
+		for i := 0; i < 3; i++ {
+			r.ParallelRegion(3, func(th *Thread) {
+				th.Call("kernel", func() { th.Compute(time.Millisecond) })
+				total++
+			})
+		}
+	})
+	eng.RunAll()
+	if total != 9 {
+		t.Fatalf("ran %d thread bodies, want 9", total)
+	}
+	if eng.LiveProcs() != 0 {
+		t.Fatalf("%d leaked procs", eng.LiveProcs())
+	}
+}

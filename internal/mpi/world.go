@@ -1,0 +1,121 @@
+// Package mpi implements a simulated MPI-1 runtime on top of the
+// discrete-event engine in internal/sim.
+//
+// Each MPI rank is a simulated process (goroutine) with a simulated
+// call stack (internal/stack). The runtime reproduces the semantics
+// that matter to hang detection: blocking point-to-point operations
+// with FIFO matching per (source, tag), non-blocking requests completed
+// by a progress engine, synchronization-like collectives (Barrier,
+// Allreduce, Allgather, Alltoall) where no rank can leave before all
+// have entered, and rooted collectives (Bcast, Reduce, Gather, Scatter)
+// with their weaker dependence structure. Every MPI call pushes an
+// "MPI_*" frame onto the rank's stack for the duration of the call, so
+// an external observer sees exactly the IN_MPI / OUT_MPI behaviour the
+// paper's stack-trace sampling sees.
+//
+// Message and collective timing comes from a configurable latency
+// model; all timing is virtual, deterministic, and jittered from the
+// engine's seeded random source.
+package mpi
+
+import (
+	"fmt"
+	"time"
+
+	"parastack/internal/sim"
+	"parastack/internal/stack"
+)
+
+// Wildcards for Recv/Iprobe matching.
+const (
+	AnySource = -1
+	AnyTag    = -1
+)
+
+// World is a simulated MPI job: a fixed set of ranks sharing one
+// engine, one latency model, and one collective-matching space
+// (the equivalent of MPI_COMM_WORLD).
+type World struct {
+	eng   *sim.Engine
+	ranks []*Rank
+	lat   Latency
+
+	worldComm *Comm
+
+	// Perturb, when non-nil, rescales every computation interval of
+	// every rank; platform noise models hook in here.
+	Perturb func(r *Rank, d time.Duration) time.Duration
+
+	started    bool
+	finished   int
+	finishedAt sim.Time
+}
+
+// NewWorld creates a world of size ranks on eng with latency model lat.
+// Ranks are created immediately but their bodies start only at Launch.
+func NewWorld(eng *sim.Engine, size int, lat Latency) *World {
+	if size <= 0 {
+		panic("mpi: world size must be positive")
+	}
+	w := &World{
+		eng: eng,
+		lat: lat.WithDefaults(),
+	}
+	w.ranks = make([]*Rank, size)
+	all := make([]int, size)
+	for i := 0; i < size; i++ {
+		w.ranks[i] = &Rank{
+			w:     w,
+			id:    i,
+			stack: stack.New("main"),
+		}
+		all[i] = i
+	}
+	w.worldComm = newComm(w, all)
+	return w
+}
+
+// Engine returns the world's simulation engine.
+func (w *World) Engine() *sim.Engine { return w.eng }
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return len(w.ranks) }
+
+// Rank returns rank i.
+func (w *World) Rank(i int) *Rank { return w.ranks[i] }
+
+// Ranks returns all ranks in rank order.
+func (w *World) Ranks() []*Rank { return w.ranks }
+
+// Latency returns the world's latency model.
+func (w *World) Latency() Latency { return w.lat }
+
+// Launch starts every rank running body at virtual time 0 (or the
+// current time if the engine has already advanced). It may be called
+// once per world.
+func (w *World) Launch(body func(r *Rank)) {
+	if w.started {
+		panic("mpi: world already launched")
+	}
+	w.started = true
+	for _, r := range w.ranks {
+		r := r
+		r.proc = w.eng.SpawnNow(fmt.Sprintf("rank-%d", r.id), func(p *sim.Proc) {
+			body(r)
+			w.finished++
+			if w.finished == len(w.ranks) {
+				w.finishedAt = w.eng.Now()
+			}
+		})
+	}
+}
+
+// Done reports whether every rank's body has returned.
+func (w *World) Done() bool { return w.started && w.finished == len(w.ranks) }
+
+// Finished reports how many ranks have completed.
+func (w *World) Finished() int { return w.finished }
+
+// FinishedAt returns the virtual time at which the last rank completed
+// (zero until Done).
+func (w *World) FinishedAt() sim.Time { return w.finishedAt }

@@ -1,0 +1,226 @@
+// Package sched is a miniature batch job scheduler in the spirit of
+// Slurm/Torque, running on the simulation engine: FIFO queue, node
+// allocation, walltime enforcement, and service-unit (SU) accounting.
+//
+// Its purpose in this reproduction is the paper's deployment story
+// (§2): ParaStack attaches to batch jobs and, on a verified hang,
+// terminates the job early instead of letting it burn the rest of its
+// allocated walltime — the time-savings experiment of Figure 10.
+package sched
+
+import (
+	"fmt"
+	"time"
+
+	"parastack/internal/core"
+	"parastack/internal/mpi"
+	"parastack/internal/noise"
+	"parastack/internal/sim"
+	"parastack/internal/topology"
+)
+
+// JobState is a job's lifecycle state.
+type JobState int
+
+const (
+	// Pending means queued, waiting for nodes.
+	Pending JobState = iota
+	// Running means allocated and executing.
+	Running
+	// Completed means the application finished inside its walltime.
+	Completed
+	// TimedOut means the walltime expired and the scheduler killed it.
+	TimedOut
+	// HangTerminated means ParaStack detected a hang and the scheduler
+	// terminated the job early.
+	HangTerminated
+)
+
+// String implements fmt.Stringer.
+func (s JobState) String() string {
+	switch s {
+	case Pending:
+		return "pending"
+	case Running:
+		return "running"
+	case Completed:
+		return "completed"
+	case TimedOut:
+		return "timed-out"
+	case HangTerminated:
+		return "hang-terminated"
+	default:
+		return fmt.Sprintf("JobState(%d)", int(s))
+	}
+}
+
+// Job is one batch submission.
+type Job struct {
+	Name     string
+	Nodes    int
+	PPN      int
+	Walltime time.Duration
+	// CoresPerNode is used for SU accounting (defaults to PPN).
+	CoresPerNode int
+
+	// Body is the application each rank runs.
+	Body func(*mpi.Rank)
+	// Latency configures the job's interconnect (zero value = defaults).
+	Latency mpi.Latency
+	// Profile optionally applies platform noise to the job's world.
+	Profile *noise.Profile
+	// EstimatedDuration seeds the noise model's slowdown placement.
+	EstimatedDuration time.Duration
+	// Monitor, when non-nil, attaches a ParaStack monitor with this
+	// configuration.
+	Monitor *core.Config
+
+	// OnFinish, when non-nil, runs as soon as the job leaves Running
+	// (completed, killed, or hang-terminated) — e.g. to stop the engine
+	// once the last interesting job is done.
+	OnFinish func(*Job)
+
+	// Results, valid once State leaves Running.
+	State       JobState
+	SubmittedAt time.Duration
+	StartedAt   time.Duration
+	EndedAt     time.Duration
+	HangReport  *core.Report
+
+	world   *World
+	sched   *Scheduler
+	killEvt *sim.Event
+}
+
+// World aliases the mpi world type for the job API.
+type World = mpi.World
+
+// SUs returns the service units charged: nodes × cores × elapsed hours
+// (the charging policy cited by the paper).
+func (j *Job) SUs() float64 {
+	if j.State == Pending || j.State == Running {
+		return 0
+	}
+	cores := j.CoresPerNode
+	if cores == 0 {
+		cores = j.PPN
+	}
+	return float64(j.Nodes*cores) * (j.EndedAt - j.StartedAt).Hours()
+}
+
+// Scheduler is a FIFO batch scheduler with a fixed node pool.
+type Scheduler struct {
+	eng        *sim.Engine
+	totalNodes int
+	freeNodes  int
+	queue      []*Job
+	all        []*Job
+}
+
+// New creates a scheduler managing totalNodes nodes on eng.
+func New(eng *sim.Engine, totalNodes int) *Scheduler {
+	return &Scheduler{eng: eng, totalNodes: totalNodes, freeNodes: totalNodes}
+}
+
+// FreeNodes reports currently unallocated nodes.
+func (s *Scheduler) FreeNodes() int { return s.freeNodes }
+
+// Jobs returns every submitted job in submission order.
+func (s *Scheduler) Jobs() []*Job { return s.all }
+
+// Submit enqueues a job. Scheduling happens at the current virtual time
+// (or as soon as nodes free up).
+func (s *Scheduler) Submit(j *Job) {
+	if j.Nodes <= 0 || j.PPN <= 0 || j.Walltime <= 0 || j.Body == nil {
+		panic("sched: job needs Nodes, PPN, Walltime and Body")
+	}
+	if j.Nodes > s.totalNodes {
+		panic(fmt.Sprintf("sched: job %q wants %d nodes, pool has %d", j.Name, j.Nodes, s.totalNodes))
+	}
+	j.sched = s
+	j.State = Pending
+	j.SubmittedAt = time.Duration(s.eng.Now())
+	s.queue = append(s.queue, j)
+	s.all = append(s.all, j)
+	s.eng.After(0, s.trySchedule)
+}
+
+// trySchedule starts queued jobs FIFO while nodes are available.
+func (s *Scheduler) trySchedule() {
+	for len(s.queue) > 0 && s.queue[0].Nodes <= s.freeNodes {
+		j := s.queue[0]
+		s.queue = s.queue[1:]
+		s.start(j)
+	}
+}
+
+func (s *Scheduler) start(j *Job) {
+	s.freeNodes -= j.Nodes
+	j.State = Running
+	j.StartedAt = time.Duration(s.eng.Now())
+
+	size := j.Nodes * j.PPN
+	w := mpi.NewWorld(s.eng, size, j.Latency)
+	j.world = w
+	if j.Profile != nil {
+		j.Profile.Apply(w, s.eng.Rand(), j.PPN, j.EstimatedDuration)
+	}
+	cluster := topology.New(j.Nodes, j.PPN, int64(len(s.all)))
+
+	if j.Monitor != nil {
+		cfg := *j.Monitor
+		cfg.OnHang = func(rep *core.Report) {
+			j.HangReport = rep
+			s.finish(j, HangTerminated)
+		}
+		m := core.New(w, cluster, cfg)
+		m.Start()
+	}
+
+	// Walltime enforcement.
+	j.killEvt = s.eng.At(sim.Time(j.StartedAt+j.Walltime), func() {
+		if j.State == Running {
+			s.finish(j, TimedOut)
+		}
+	})
+
+	// Completion watcher: wraps the body to count finished ranks.
+	finished := 0
+	w.Launch(func(r *mpi.Rank) {
+		j.Body(r)
+		finished++
+		if finished == size && j.State == Running {
+			s.finish(j, Completed)
+		}
+	})
+}
+
+// finish accounts and releases a job. Rank processes of killed jobs
+// stay parked (the simulation cannot destroy goroutines), but their
+// nodes are returned to the pool, which is all the accounting needs.
+func (s *Scheduler) finish(j *Job, st JobState) {
+	j.State = st
+	j.EndedAt = time.Duration(s.eng.Now())
+	if j.killEvt != nil {
+		j.killEvt.Cancel()
+	}
+	s.freeNodes += j.Nodes
+	s.eng.After(0, s.trySchedule)
+	if j.OnFinish != nil {
+		j.OnFinish(j)
+	}
+}
+
+// Savings returns the fraction of the allocated walltime ParaStack
+// saved for a hang-terminated job: (walltime - elapsed) / walltime.
+// Zero for jobs that ran their course.
+func (j *Job) Savings() float64 {
+	if j.State != HangTerminated {
+		return 0
+	}
+	elapsed := j.EndedAt - j.StartedAt
+	if elapsed >= j.Walltime {
+		return 0
+	}
+	return float64(j.Walltime-elapsed) / float64(j.Walltime)
+}

@@ -1,0 +1,156 @@
+package sched
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"parastack/internal/core"
+	"parastack/internal/fault"
+	"parastack/internal/mpi"
+	"parastack/internal/sim"
+)
+
+// loopBody returns a compute+allreduce application body.
+func loopBody(iters int, step time.Duration, inj *fault.Injector) func(*mpi.Rank) {
+	return func(r *mpi.Rank) {
+		eng := r.World().Engine()
+		for it := 0; it < iters; it++ {
+			r.Call("step", func() {
+				r.Compute(step + time.Duration(eng.Rand().Int63n(int64(step))))
+				inj.Check(r, it)
+			})
+			r.Allreduce(8)
+		}
+	}
+}
+
+func TestJobCompletes(t *testing.T) {
+	eng := sim.NewEngine(1)
+	s := New(eng, 4)
+	j := &Job{
+		Name: "ok", Nodes: 2, PPN: 4, Walltime: 10 * time.Minute,
+		Body: loopBody(50, 20*time.Millisecond, nil),
+	}
+	s.Submit(j)
+	eng.Run(time.Hour)
+	if j.State != Completed {
+		t.Fatalf("state = %v", j.State)
+	}
+	if j.EndedAt <= j.StartedAt {
+		t.Fatal("no elapsed time recorded")
+	}
+	if s.FreeNodes() != 4 {
+		t.Fatalf("nodes not released: %d free", s.FreeNodes())
+	}
+	if j.SUs() <= 0 {
+		t.Fatal("no SUs charged")
+	}
+}
+
+func TestWalltimeKill(t *testing.T) {
+	eng := sim.NewEngine(2)
+	s := New(eng, 2)
+	j := &Job{
+		Name: "long", Nodes: 1, PPN: 4, Walltime: 2 * time.Second,
+		Body: loopBody(10000, 50*time.Millisecond, nil),
+	}
+	s.Submit(j)
+	eng.Run(time.Hour)
+	if j.State != TimedOut {
+		t.Fatalf("state = %v, want timed-out", j.State)
+	}
+	if got := j.EndedAt - j.StartedAt; got != 2*time.Second {
+		t.Fatalf("elapsed = %v, want exactly the walltime", got)
+	}
+	if s.FreeNodes() != 2 {
+		t.Fatal("nodes not released after kill")
+	}
+}
+
+func TestFIFOQueueing(t *testing.T) {
+	eng := sim.NewEngine(3)
+	s := New(eng, 2)
+	a := &Job{Name: "a", Nodes: 2, PPN: 2, Walltime: time.Minute, Body: loopBody(20, 20*time.Millisecond, nil)}
+	b := &Job{Name: "b", Nodes: 1, PPN: 2, Walltime: time.Minute, Body: loopBody(20, 20*time.Millisecond, nil)}
+	s.Submit(a)
+	s.Submit(b)
+	eng.Run(time.Hour)
+	if a.State != Completed || b.State != Completed {
+		t.Fatalf("states: %v, %v", a.State, b.State)
+	}
+	if b.StartedAt < a.EndedAt {
+		t.Fatalf("b started at %v before a ended at %v despite full pool", b.StartedAt, a.EndedAt)
+	}
+}
+
+func TestHangTerminationSavesTime(t *testing.T) {
+	eng := sim.NewEngine(4)
+	s := New(eng, 8)
+	inj := fault.NewInjector(fault.Plan{Kind: fault.ComputationHang, Rank: 3, Iteration: 100})
+	j := &Job{
+		Name: "buggy", Nodes: 2, PPN: 8, Walltime: 10 * time.Minute,
+		Body:    loopBody(5000, 30*time.Millisecond, inj),
+		Monitor: &core.Config{C: 6},
+	}
+	s.Submit(j)
+	eng.Run(time.Hour)
+	if j.State != HangTerminated {
+		t.Fatalf("state = %v, want hang-terminated", j.State)
+	}
+	if j.HangReport == nil || j.HangReport.Type != core.HangComputation {
+		t.Fatalf("report = %+v", j.HangReport)
+	}
+	if j.Savings() <= 0.5 {
+		t.Fatalf("savings = %v, hang at ~9s of a 10min slot should save >50%%", j.Savings())
+	}
+	if s.FreeNodes() != 8 {
+		t.Fatal("nodes not released after hang termination")
+	}
+	// SU accounting must reflect early termination.
+	elapsedHours := (j.EndedAt - j.StartedAt).Hours()
+	if math.Abs(j.SUs()-float64(2*8)*elapsedHours) > 1e-9 {
+		t.Fatalf("SUs = %v", j.SUs())
+	}
+}
+
+func TestQueuedJobRunsAfterHangTermination(t *testing.T) {
+	eng := sim.NewEngine(5)
+	s := New(eng, 1)
+	inj := fault.NewInjector(fault.Plan{Kind: fault.ComputationHang, Rank: 0, Iteration: 600})
+	buggy := &Job{
+		Name: "buggy", Nodes: 1, PPN: 8, Walltime: time.Hour,
+		Body:    loopBody(5000, 30*time.Millisecond, inj),
+		Monitor: &core.Config{C: 6},
+	}
+	next := &Job{Name: "next", Nodes: 1, PPN: 2, Walltime: time.Minute,
+		Body: loopBody(10, 10*time.Millisecond, nil)}
+	s.Submit(buggy)
+	s.Submit(next)
+	eng.Run(3 * time.Hour)
+	if buggy.State != HangTerminated {
+		t.Fatalf("buggy state = %v", buggy.State)
+	}
+	if next.State != Completed {
+		t.Fatalf("next state = %v; early termination must free the node for it", next.State)
+	}
+	if next.StartedAt < buggy.EndedAt {
+		t.Fatal("next started before buggy ended")
+	}
+	// Without ParaStack the node would have been blocked for the whole
+	// hour; with it, the queue moved after seconds.
+	if next.StartedAt > buggy.StartedAt+5*time.Minute {
+		t.Fatalf("next waited until %v", next.StartedAt)
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	eng := sim.NewEngine(6)
+	s := New(eng, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversized job must panic")
+		}
+	}()
+	s.Submit(&Job{Name: "big", Nodes: 3, PPN: 1, Walltime: time.Minute, Body: func(*mpi.Rank) {}})
+}

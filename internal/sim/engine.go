@@ -1,0 +1,211 @@
+// Package sim provides a deterministic discrete-event simulation engine
+// with goroutine-based simulated processes and a virtual clock.
+//
+// The engine is the substrate on which the simulated MPI runtime
+// (package mpi), the workload skeletons (package workload), and the
+// ParaStack monitor (package core) execute. Exactly one simulated
+// process (or event callback) runs at a time; control is handed between
+// the scheduler goroutine and process goroutines over unbuffered
+// channels, so shared simulation state needs no further locking and
+// every run is reproducible from the engine's random seed.
+//
+// Virtual time is represented as time.Duration offsets from the start
+// of the simulation. Sleeping, blocking on a condition, and waking
+// other processes are the only ways time advances; wall-clock time
+// never leaks into the simulation.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Time is an absolute instant on the virtual clock, measured as an
+// offset from the beginning of the simulation.
+type Time = time.Duration
+
+// Event is a scheduled callback. Events with equal times fire in
+// scheduling order (FIFO), which keeps runs deterministic.
+type Event struct {
+	when Time
+	seq  uint64
+	fn   func()
+
+	canceled bool
+	index    int // heap index, -1 when popped
+}
+
+// Cancel prevents a pending event from firing. Canceling an event that
+// already fired is a no-op.
+func (ev *Event) Cancel() { ev.canceled = true }
+
+// When returns the virtual time at which the event is scheduled.
+func (ev *Event) When() Time { return ev.when }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulator. The zero value is not usable;
+// construct one with NewEngine.
+type Engine struct {
+	now      Time
+	queue    eventHeap
+	seq      uint64
+	rng      *rand.Rand
+	parked   chan struct{} // handoff from a running process back to the scheduler
+	stopped  bool
+	running  bool
+	shutdown bool
+
+	procs     []*Proc
+	liveProcs int
+
+	// Stats, useful for tests and benchmarks.
+	eventsFired uint64
+}
+
+// NewEngine returns an engine whose random stream is seeded with seed.
+// Two engines built with the same seed and driven by the same program
+// produce identical event sequences.
+func NewEngine(seed int64) *Engine {
+	return &Engine{
+		rng:    rand.New(rand.NewSource(seed)),
+		parked: make(chan struct{}),
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand returns the engine's deterministic random source. It must only
+// be used from event callbacks and simulated processes (i.e. while the
+// simulation is running or before it starts), never concurrently.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// EventsFired reports how many events have executed so far.
+func (e *Engine) EventsFired() uint64 { return e.eventsFired }
+
+// Procs returns all processes ever spawned on the engine, in spawn order.
+func (e *Engine) Procs() []*Proc { return e.procs }
+
+// LiveProcs reports the number of spawned processes that have not yet
+// terminated.
+func (e *Engine) LiveProcs() int { return e.liveProcs }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the
+// past panics: it would silently reorder causality.
+func (e *Engine) At(t Time, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	ev := &Event{when: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After schedules fn to run d from now.
+func (e *Engine) After(d time.Duration, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return e.At(e.now+d, fn)
+}
+
+// Stop halts the run loop after the currently executing event returns.
+// Pending events remain queued; a subsequent Run call resumes from them.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Stopped reports whether Stop has been called since the last Run.
+func (e *Engine) Stopped() bool { return e.stopped }
+
+// Run executes events in virtual-time order until one of: the queue is
+// empty, Stop is called, or the clock passes until (a zero until means
+// no limit). It returns the virtual time at which it stopped.
+//
+// An empty queue with live processes means every process is blocked
+// with nobody scheduled to wake it — the simulated equivalent of a
+// global hang with no monitor attached. Run simply returns in that
+// case; callers can inspect LiveProcs to distinguish it from normal
+// completion.
+func (e *Engine) Run(until Time) Time {
+	e.stopped = false
+	e.running = true
+	defer func() { e.running = false }()
+	for len(e.queue) > 0 && !e.stopped {
+		next := e.queue[0]
+		if until > 0 && next.when > until {
+			e.now = until
+			return e.now
+		}
+		heap.Pop(&e.queue)
+		if next.canceled {
+			continue
+		}
+		if next.when > e.now {
+			e.now = next.when
+		}
+		e.eventsFired++
+		next.fn()
+	}
+	return e.now
+}
+
+// RunAll runs with no time limit.
+func (e *Engine) RunAll() Time { return e.Run(0) }
+
+// PendingEvents reports the number of queued (possibly canceled) events.
+func (e *Engine) PendingEvents() int { return len(e.queue) }
+
+// Shutdown terminates every live simulated process, releasing their
+// goroutines. Campaigns that run thousands of simulations — many ending
+// in hangs whose processes would otherwise stay parked forever — call
+// this after each run to keep goroutine and memory usage flat. The
+// engine must not be running; after Shutdown it must not be reused.
+func (e *Engine) Shutdown() {
+	if e.running {
+		panic("sim: Shutdown while running")
+	}
+	e.shutdown = true
+	for _, p := range e.procs {
+		for p.state == ProcSleeping || p.state == ProcSuspended {
+			// Hand the goroutine control; park/Sleep observes the
+			// shutdown flag and unwinds via a procExit panic; the spawn
+			// wrapper recovers it and parks back one final time.
+			p.resume <- struct{}{}
+			<-e.parked
+		}
+	}
+}
+
+// procExit is the sentinel panic used to unwind a simulated process's
+// goroutine during Shutdown. Process bodies' defers run normally.
+type procExit struct{}

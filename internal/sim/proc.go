@@ -1,0 +1,190 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// ProcState describes what a simulated process is currently doing from
+// the scheduler's point of view.
+type ProcState int
+
+const (
+	// ProcReady means the process has been spawned but not yet started.
+	ProcReady ProcState = iota
+	// ProcRunning means the process goroutine currently holds control.
+	ProcRunning
+	// ProcSleeping means the process is parked with a wake event queued.
+	ProcSleeping
+	// ProcSuspended means the process is parked with no wake event; it
+	// will only resume when some other process or event calls Wake.
+	ProcSuspended
+	// ProcDone means the process body returned.
+	ProcDone
+)
+
+// String implements fmt.Stringer.
+func (s ProcState) String() string {
+	switch s {
+	case ProcReady:
+		return "ready"
+	case ProcRunning:
+		return "running"
+	case ProcSleeping:
+		return "sleeping"
+	case ProcSuspended:
+		return "suspended"
+	case ProcDone:
+		return "done"
+	default:
+		return fmt.Sprintf("ProcState(%d)", int(s))
+	}
+}
+
+// Proc is a simulated process: a goroutine that runs only when the
+// engine hands it control, and that advances virtual time by sleeping
+// or suspending. All Proc methods that block (Sleep, Suspend) must be
+// called from the process's own goroutine.
+type Proc struct {
+	ID   int
+	Name string
+
+	eng    *Engine
+	resume chan struct{}
+	state  ProcState
+	wake   *Event // pending wake event while sleeping
+
+	// penalty accumulates virtual time stolen from this process by
+	// external activity (e.g. a monitor stack-tracing it). It is
+	// consumed by the next Sleep call. This models ptrace-style
+	// suspend/resume overhead without needing to preempt the process.
+	penalty time.Duration
+}
+
+// State returns the scheduler-visible state of the process.
+func (p *Proc) State() ProcState { return p.state }
+
+// Engine returns the engine the process runs on.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Now returns the current virtual time. Convenience for process bodies.
+func (p *Proc) Now() Time { return p.eng.now }
+
+// Spawn creates a process that will begin executing body at virtual
+// time start (which must not be in the past). The body runs on its own
+// goroutine but only ever while the engine has handed it control.
+func (e *Engine) Spawn(name string, start Time, body func(*Proc)) *Proc {
+	p := &Proc{
+		ID:     len(e.procs),
+		Name:   name,
+		eng:    e,
+		resume: make(chan struct{}),
+		state:  ProcReady,
+	}
+	e.procs = append(e.procs, p)
+	e.liveProcs++
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(procExit); !ok {
+					panic(r) // real bug: propagate
+				}
+			}
+			p.state = ProcDone
+			e.liveProcs--
+			e.parked <- struct{}{} // hand control back for good
+		}()
+		<-p.resume // wait for the scheduler to start us
+		if e.shutdown {
+			panic(procExit{})
+		}
+		body(p)
+	}()
+	e.At(start, func() { e.dispatch(p) })
+	return p
+}
+
+// SpawnNow is Spawn starting at the current virtual time.
+func (e *Engine) SpawnNow(name string, body func(*Proc)) *Proc {
+	return e.Spawn(name, e.now, body)
+}
+
+// dispatch transfers control to p and blocks the scheduler until p
+// parks again (sleeps, suspends, or terminates).
+func (e *Engine) dispatch(p *Proc) {
+	if p.state == ProcDone {
+		panic("sim: dispatching terminated process " + p.Name)
+	}
+	p.state = ProcRunning
+	p.wake = nil
+	p.resume <- struct{}{}
+	<-e.parked
+}
+
+// park gives control back to the scheduler and blocks until resumed.
+// During Shutdown the resume is a termination order: park unwinds the
+// goroutine with a procExit panic so the caller's defers still run.
+func (p *Proc) park(s ProcState) {
+	p.state = s
+	p.eng.parked <- struct{}{}
+	<-p.resume
+	if p.eng.shutdown {
+		panic(procExit{})
+	}
+}
+
+// Sleep advances the process's virtual clock by d plus any accumulated
+// external penalty. A nonpositive d with no penalty still yields to the
+// scheduler at the current instant, preserving event ordering fairness.
+func (p *Proc) Sleep(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	d += p.penalty
+	p.penalty = 0
+	e := p.eng
+	p.wake = e.At(e.now+d, func() { e.dispatch(p) })
+	p.park(ProcSleeping)
+}
+
+// Suspend parks the process indefinitely; it resumes only when another
+// party calls Wake (or WakeAt). This is how blocking MPI calls wait for
+// a matching event.
+func (p *Proc) Suspend() {
+	p.park(ProcSuspended)
+}
+
+// Wake schedules a suspended process to resume at time t. It panics if
+// the process is not suspended: waking a sleeping or running process
+// would corrupt the handoff protocol, and indicates a logic error in
+// the caller (e.g. completing the same MPI request twice).
+func (p *Proc) WakeAt(t Time) {
+	if p.state != ProcSuspended {
+		panic(fmt.Sprintf("sim: WakeAt(%s) in state %s", p.Name, p.state))
+	}
+	e := p.eng
+	// Mark as sleeping-with-event so a second WakeAt panics.
+	p.state = ProcSleeping
+	p.wake = e.At(t, func() { e.dispatch(p) })
+}
+
+// Wake resumes a suspended process at the current virtual time.
+func (p *Proc) Wake() { p.WakeAt(p.eng.now) }
+
+// ChargePenalty steals d of virtual time from the process: its next
+// Sleep will take d longer. Used to model the cost of an external
+// observer (ptrace attach + stack unwind) suspending the process while
+// it executes application code. Charging a process that is blocked
+// inside simulated MPI is free, mirroring the paper's observation that
+// tracing cost can be overlapped with application idle time.
+func (p *Proc) ChargePenalty(d time.Duration) {
+	if p.state == ProcSleeping || p.state == ProcRunning {
+		p.penalty += d
+	}
+}
+
+// PendingPenalty reports the accumulated not-yet-consumed penalty.
+func (p *Proc) PendingPenalty() time.Duration { return p.penalty }
+
+// Yield lets other events scheduled at the same instant run.
+func (p *Proc) Yield() { p.Sleep(0) }

@@ -1,0 +1,380 @@
+package sim
+
+import (
+	"runtime"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEventOrdering(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	e.At(30*time.Millisecond, func() { got = append(got, 3) })
+	e.At(10*time.Millisecond, func() { got = append(got, 1) })
+	e.At(20*time.Millisecond, func() { got = append(got, 2) })
+	end := e.RunAll()
+	if end != 30*time.Millisecond {
+		t.Fatalf("end = %v, want 30ms", end)
+	}
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("order = %v, want [1 2 3]", got)
+	}
+}
+
+func TestSameTimeFIFO(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(time.Second, func() { got = append(got, i) })
+	}
+	e.RunAll()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("events at equal time fired out of order: %v", got)
+		}
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := NewEngine(1)
+	fired := false
+	ev := e.At(time.Second, func() { fired = true })
+	ev.Cancel()
+	e.RunAll()
+	if fired {
+		t.Fatal("canceled event fired")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine(1)
+	fired := 0
+	e.At(1*time.Second, func() { fired++ })
+	e.At(3*time.Second, func() { fired++ })
+	end := e.Run(2 * time.Second)
+	if end != 2*time.Second {
+		t.Fatalf("end = %v, want 2s", end)
+	}
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+	// Resume.
+	end = e.RunAll()
+	if end != 3*time.Second || fired != 2 {
+		t.Fatalf("after resume end=%v fired=%d", end, fired)
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	e := NewEngine(1)
+	e.At(time.Second, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic scheduling in the past")
+			}
+		}()
+		e.At(500*time.Millisecond, func() {})
+	})
+	e.RunAll()
+}
+
+func TestProcSleep(t *testing.T) {
+	e := NewEngine(1)
+	var wakeTimes []Time
+	e.SpawnNow("p", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			p.Sleep(100 * time.Millisecond)
+			wakeTimes = append(wakeTimes, p.Now())
+		}
+	})
+	e.RunAll()
+	want := []Time{100 * time.Millisecond, 200 * time.Millisecond, 300 * time.Millisecond}
+	if len(wakeTimes) != 3 {
+		t.Fatalf("wakeTimes = %v", wakeTimes)
+	}
+	for i := range want {
+		if wakeTimes[i] != want[i] {
+			t.Fatalf("wakeTimes = %v, want %v", wakeTimes, want)
+		}
+	}
+	if e.LiveProcs() != 0 {
+		t.Fatalf("LiveProcs = %d, want 0", e.LiveProcs())
+	}
+}
+
+func TestSuspendWake(t *testing.T) {
+	e := NewEngine(1)
+	var consumer *Proc
+	var consumed Time
+	consumer = e.SpawnNow("consumer", func(p *Proc) {
+		p.Suspend()
+		consumed = p.Now()
+	})
+	e.SpawnNow("producer", func(p *Proc) {
+		p.Sleep(250 * time.Millisecond)
+		consumer.Wake()
+	})
+	e.RunAll()
+	if consumed != 250*time.Millisecond {
+		t.Fatalf("consumer resumed at %v, want 250ms", consumed)
+	}
+}
+
+func TestWakeAtFuture(t *testing.T) {
+	e := NewEngine(1)
+	var p1 *Proc
+	var resumedAt Time
+	p1 = e.SpawnNow("sleeper", func(p *Proc) {
+		p.Suspend()
+		resumedAt = p.Now()
+	})
+	e.SpawnNow("waker", func(p *Proc) {
+		p.Sleep(10 * time.Millisecond)
+		p1.WakeAt(1 * time.Second)
+	})
+	e.RunAll()
+	if resumedAt != time.Second {
+		t.Fatalf("resumed at %v, want 1s", resumedAt)
+	}
+}
+
+func TestDoubleWakePanics(t *testing.T) {
+	e := NewEngine(1)
+	p1 := e.SpawnNow("sleeper", func(p *Proc) { p.Suspend() })
+	e.SpawnNow("waker", func(p *Proc) {
+		p.Sleep(time.Millisecond)
+		p1.WakeAt(time.Second)
+		defer func() {
+			if recover() == nil {
+				t.Error("second WakeAt should panic")
+			}
+		}()
+		p1.WakeAt(2 * time.Second)
+	})
+	e.RunAll()
+}
+
+func TestGlobalHangLeavesLiveProcs(t *testing.T) {
+	e := NewEngine(1)
+	e.SpawnNow("stuck", func(p *Proc) {
+		p.Sleep(time.Second)
+		p.Suspend() // never woken: a simulated hang
+	})
+	end := e.RunAll()
+	if end != time.Second {
+		t.Fatalf("end = %v, want 1s", end)
+	}
+	if e.LiveProcs() != 1 {
+		t.Fatalf("LiveProcs = %d, want 1 (hung process)", e.LiveProcs())
+	}
+}
+
+func TestPenaltyChargesNextSleep(t *testing.T) {
+	e := NewEngine(1)
+	var done Time
+	p := e.SpawnNow("victim", func(p *Proc) {
+		p.Sleep(100 * time.Millisecond)
+		p.Sleep(100 * time.Millisecond)
+		done = p.Now()
+	})
+	e.At(50*time.Millisecond, func() { p.ChargePenalty(30 * time.Millisecond) })
+	e.RunAll()
+	if done != 230*time.Millisecond {
+		t.Fatalf("done = %v, want 230ms", done)
+	}
+}
+
+func TestPenaltyIgnoredWhenSuspended(t *testing.T) {
+	e := NewEngine(1)
+	var p1 *Proc
+	var done Time
+	p1 = e.SpawnNow("blocked", func(p *Proc) {
+		p.Suspend()
+		p.Sleep(100 * time.Millisecond)
+		done = p.Now()
+	})
+	e.At(10*time.Millisecond, func() {
+		p1.ChargePenalty(time.Hour) // must be free: process is inside "MPI"
+		p1.Wake()
+	})
+	e.RunAll()
+	if done != 110*time.Millisecond {
+		t.Fatalf("done = %v, want 110ms", done)
+	}
+}
+
+func TestStopHaltsRun(t *testing.T) {
+	e := NewEngine(1)
+	fired := 0
+	e.At(time.Second, func() { fired++; e.Stop() })
+	e.At(2*time.Second, func() { fired++ })
+	e.RunAll()
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+	if !e.Stopped() {
+		t.Fatal("Stopped() = false after Stop")
+	}
+}
+
+func TestDeterminismAcrossEngines(t *testing.T) {
+	trace := func(seed int64) []Time {
+		e := NewEngine(seed)
+		var out []Time
+		for i := 0; i < 4; i++ {
+			e.SpawnNow("p", func(p *Proc) {
+				for j := 0; j < 20; j++ {
+					p.Sleep(time.Duration(e.Rand().Intn(1000)) * time.Millisecond)
+					out = append(out, p.Now())
+				}
+			})
+		}
+		e.RunAll()
+		return out
+	}
+	a, b := trace(42), trace(42)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("trace diverges at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := trace(43)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestManyProcs(t *testing.T) {
+	e := NewEngine(7)
+	const n = 2048
+	completed := 0
+	for i := 0; i < n; i++ {
+		e.SpawnNow("p", func(p *Proc) {
+			for j := 0; j < 5; j++ {
+				p.Sleep(time.Duration(1+e.Rand().Intn(50)) * time.Millisecond)
+			}
+			completed++
+		})
+	}
+	e.RunAll()
+	if completed != n {
+		t.Fatalf("completed = %d, want %d", completed, n)
+	}
+}
+
+// Property: for any set of nonnegative delays, a process sleeping
+// through them finishes at exactly their sum, and the engine clock
+// never moves backwards.
+func TestSleepSumProperty(t *testing.T) {
+	f := func(delaysMS []uint16) bool {
+		e := NewEngine(3)
+		var want time.Duration
+		for _, d := range delaysMS {
+			want += time.Duration(d) * time.Millisecond
+		}
+		var got Time
+		e.SpawnNow("p", func(p *Proc) {
+			last := Time(0)
+			for _, d := range delaysMS {
+				p.Sleep(time.Duration(d) * time.Millisecond)
+				if p.Now() < last {
+					t.Error("clock moved backwards")
+				}
+				last = p.Now()
+			}
+			got = p.Now()
+		})
+		e.RunAll()
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkEventThroughput(b *testing.B) {
+	e := NewEngine(1)
+	var tick func()
+	n := 0
+	tick = func() {
+		n++
+		if n < b.N {
+			e.After(time.Microsecond, tick)
+		}
+	}
+	e.After(time.Microsecond, tick)
+	b.ResetTimer()
+	e.RunAll()
+}
+
+func BenchmarkProcContextSwitch(b *testing.B) {
+	e := NewEngine(1)
+	e.SpawnNow("p", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Sleep(time.Microsecond)
+		}
+	})
+	b.ResetTimer()
+	e.RunAll()
+}
+
+func TestShutdownReleasesHungProcs(t *testing.T) {
+	before := runtime.NumGoroutine()
+	e := NewEngine(1)
+	const n = 500
+	popped := 0
+	for i := 0; i < n; i++ {
+		e.SpawnNow("stuck", func(p *Proc) {
+			defer func() { popped++ }() // body defers must run on shutdown
+			if p.ID%2 == 0 {
+				p.Suspend() // hangs forever
+			} else {
+				p.Sleep(time.Hour)
+				p.Sleep(time.Hour)
+			}
+		})
+	}
+	e.Run(time.Minute)
+	if e.LiveProcs() != n {
+		t.Fatalf("LiveProcs = %d before shutdown", e.LiveProcs())
+	}
+	e.Shutdown()
+	if e.LiveProcs() != 0 {
+		t.Fatalf("LiveProcs = %d after shutdown", e.LiveProcs())
+	}
+	if popped != n {
+		t.Fatalf("only %d/%d body defers ran", popped, n)
+	}
+	// Goroutines must drain (allow scheduler slack).
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before+10 && time.Now().Before(deadline) {
+		runtime.Gosched()
+	}
+	if g := runtime.NumGoroutine(); g > before+10 {
+		t.Fatalf("goroutines leaked: %d before, %d after", before, g)
+	}
+}
+
+func TestShutdownAfterCompletionIsNoop(t *testing.T) {
+	e := NewEngine(2)
+	e.SpawnNow("p", func(p *Proc) { p.Sleep(time.Millisecond) })
+	e.RunAll()
+	e.Shutdown() // nothing live: must not hang or panic
+	if e.LiveProcs() != 0 {
+		t.Fatal("LiveProcs nonzero")
+	}
+}

@@ -1,0 +1,236 @@
+package stack
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestIsMPIFrame(t *testing.T) {
+	cases := []struct {
+		name string
+		want bool
+	}{
+		{"MPI_Send", true},
+		{"mpi_send_", true},
+		{"PMPI_Allreduce", true},
+		{"pmpi_wait", true},
+		{"main", false},
+		{"solve_rhs", false},
+		{"myMPIHelper", false}, // prefix rule: must start with the prefix
+		{"", false},
+	}
+	for _, c := range cases {
+		if got := IsMPIFrame(c.name); got != c.want {
+			t.Errorf("IsMPIFrame(%q) = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestStateInference(t *testing.T) {
+	s := New("main", "solver")
+	if s.State() != OutMPI {
+		t.Fatalf("state = %v, want OUT_MPI", s.State())
+	}
+	s.Push("compute_rhs")
+	if s.State() != OutMPI {
+		t.Fatalf("state = %v, want OUT_MPI", s.State())
+	}
+	s.Push("MPI_Allreduce")
+	if s.State() != InMPI {
+		t.Fatalf("state = %v, want IN_MPI", s.State())
+	}
+	// MPI implementations call helpers; a non-MPI frame above an MPI
+	// frame must still classify as IN_MPI (the scan looks at all frames).
+	s.Push("memcpy_impl")
+	if s.State() != InMPI {
+		t.Fatalf("state with inner helper = %v, want IN_MPI", s.State())
+	}
+	s.Pop()
+	s.Pop()
+	if s.State() != OutMPI {
+		t.Fatalf("state after pop = %v, want OUT_MPI", s.State())
+	}
+}
+
+func TestPopEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New().Pop()
+}
+
+func TestTopAndSnapshot(t *testing.T) {
+	s := New("main")
+	s.Push("a")
+	s.Push("MPI_Send")
+	if s.Top() != "MPI_Send" {
+		t.Fatalf("Top = %q", s.Top())
+	}
+	if s.TopMPI() != "MPI_Send" {
+		t.Fatalf("TopMPI = %q", s.TopMPI())
+	}
+	snap := s.Snapshot()
+	want := []string{"main", "a", "MPI_Send"}
+	if len(snap) != 3 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+	for i := range want {
+		if snap[i] != want[i] {
+			t.Fatalf("snapshot = %v, want %v", snap, want)
+		}
+	}
+	// Snapshot must be a copy.
+	snap[0] = "clobbered"
+	if s.Snapshot()[0] != "main" {
+		t.Fatal("Snapshot aliases internal storage")
+	}
+}
+
+func TestVersionAdvances(t *testing.T) {
+	s := New()
+	v0 := s.Version()
+	s.Push("f")
+	if s.Version() == v0 {
+		t.Fatal("version did not advance on push")
+	}
+	v1 := s.Version()
+	s.Pop()
+	if s.Version() == v1 {
+		t.Fatal("version did not advance on pop")
+	}
+}
+
+func TestEntryCounters(t *testing.T) {
+	s := New("main")
+	s.Push("MPI_Send")
+	s.Pop()
+	s.Push("MPI_Test")
+	s.Pop()
+	s.Push("MPI_Iprobe")
+	s.Pop()
+	tr := s.Observe()
+	if tr.NonPollEntries != 1 {
+		t.Fatalf("NonPollEntries = %d, want 1", tr.NonPollEntries)
+	}
+	if tr.PollEntries != 2 {
+		t.Fatalf("PollEntries = %d, want 2", tr.PollEntries)
+	}
+}
+
+func TestCompareTracesHang(t *testing.T) {
+	// A hung process: identical traces.
+	s := New("main", "MPI_Allreduce")
+	a := s.Observe()
+	b := s.Observe()
+	if CompareTraces(a, b) != NoProgress {
+		t.Fatal("identical traces must be NoProgress")
+	}
+}
+
+func TestCompareTracesBusyWait(t *testing.T) {
+	// A busy-waiting process flips in and out of MPI_Test: polling
+	// motion only, still NoProgress (treated as staying inside MPI).
+	s := New("main", "hpl_bcast_poll")
+	a := s.Observe()
+	for i := 0; i < 5; i++ {
+		s.Push("MPI_Test")
+		s.Pop()
+	}
+	b := s.Observe()
+	if CompareTraces(a, b) != NoProgress {
+		t.Fatal("pure polling motion must be NoProgress")
+	}
+}
+
+func TestCompareTracesSlowdownDifferentMPI(t *testing.T) {
+	// Rule 1: passing through different (non-poll) MPI functions.
+	s := New("main")
+	s.Push("MPI_Send")
+	a := s.Observe()
+	s.Pop()
+	s.Push("MPI_Allreduce")
+	b := s.Observe()
+	if CompareTraces(a, b) != SlowProgress {
+		t.Fatal("different MPI functions must be SlowProgress")
+	}
+}
+
+func TestCompareTracesSlowdownNonPollEntry(t *testing.T) {
+	// Rule 2: stepping in/out of a non-polling MPI function.
+	s := New("main", "work")
+	a := s.Observe()
+	s.Push("MPI_Send")
+	s.Pop()
+	b := s.Observe()
+	if CompareTraces(a, b) != SlowProgress {
+		t.Fatal("non-poll entry growth must be SlowProgress")
+	}
+}
+
+func TestCompareTracesComputeOnlyMotion(t *testing.T) {
+	// A faulty process spinning in an infinite *computation* loop moves
+	// (version changes) but never touches MPI: NoProgress per the two
+	// rules, so it is still reported as a hang. (The paper's rules only
+	// exempt processes demonstrably progressing through MPI.)
+	s := New("main", "stuck_loop")
+	a := s.Observe()
+	s.Push("helper")
+	s.Pop()
+	b := s.Observe()
+	if CompareTraces(a, b) != NoProgress {
+		t.Fatal("non-MPI motion must not read as SlowProgress")
+	}
+}
+
+// Property: State() == InMPI iff some frame has an MPI prefix, for
+// random push/pop sequences.
+func TestStatePropertyRandomWalk(t *testing.T) {
+	names := []string{"MPI_Send", "MPI_Test", "compute", "main", "pmpi_x", "helper", "PMPI_Wait", "loop"}
+	f := func(seed int64, steps uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := New()
+		depth := 0
+		for i := 0; i < int(steps); i++ {
+			if depth == 0 || rng.Intn(2) == 0 {
+				s.Push(names[rng.Intn(len(names))])
+				depth++
+			} else {
+				s.Pop()
+				depth--
+			}
+			// Recompute ground truth from the snapshot.
+			in := false
+			for _, n := range s.Snapshot() {
+				if IsMPIFrame(n) {
+					in = true
+					break
+				}
+			}
+			if (s.State() == InMPI) != in {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkObserve(b *testing.B) {
+	s := New("main", "solver", "compute_rhs", "MPI_Allreduce")
+	for i := 0; i < b.N; i++ {
+		_ = s.Observe()
+	}
+}
+
+func BenchmarkPushPop(b *testing.B) {
+	s := New("main")
+	for i := 0; i < b.N; i++ {
+		s.Push("MPI_Send")
+		s.Pop()
+	}
+}

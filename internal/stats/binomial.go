@@ -1,0 +1,124 @@
+package stats
+
+import "math"
+
+// Z95Sq is 1.96², the squared 95% two-sided normal quantile used by the
+// paper's sample-size bound (3.8416 in the text).
+const Z95Sq = 1.9599639845400545 * 1.9599639845400545
+
+// RequiredSampleSize returns the paper's rule-of-thumb minimum sample
+// size to estimate a Bernoulli probability p within tolerance e at 95%
+// confidence:
+//
+//	n = max(5/p, 5/(1-p), 3.8416·p(1-p)/e²)
+//
+// The first two terms ensure the normal approximation is valid
+// (np > 5 and n(1-p) > 5); the third bounds the CI half-width by e.
+// It panics unless 0 < p < 1 and e > 0.
+func RequiredSampleSize(p, e float64) int {
+	if p <= 0 || p >= 1 {
+		panic("stats: RequiredSampleSize needs 0 < p < 1")
+	}
+	if e <= 0 {
+		panic("stats: RequiredSampleSize needs e > 0")
+	}
+	n := math.Max(5/p, 5/(1-p))
+	n = math.Max(n, Z95Sq*p*(1-p)/(e*e))
+	return int(math.Ceil(n))
+}
+
+// WaldInterval returns the 95% normal-approximation confidence interval
+// p̂ ± 1.96·sqrt(p̂(1-p̂)/n), clamped to [0, 1].
+func WaldInterval(phat float64, n int) (lo, hi float64) {
+	if n <= 0 {
+		return 0, 1
+	}
+	half := 1.9599639845400545 * math.Sqrt(phat*(1-phat)/float64(n))
+	lo, hi = phat-half, phat+half
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}
+
+// GeometricThreshold returns the number k of consecutive suspicions
+// needed to reject the "healthy" hypothesis at significance alpha when
+// each independent observation is a suspicion with probability q:
+//
+//	P(Y >= k) = q^k <= alpha  ⇒  k = ceil(log_q(alpha))
+//
+// It panics unless 0 < q < 1 and 0 < alpha < 1.
+func GeometricThreshold(q, alpha float64) int {
+	if q <= 0 || q >= 1 {
+		panic("stats: GeometricThreshold needs 0 < q < 1")
+	}
+	if alpha <= 0 || alpha >= 1 {
+		panic("stats: GeometricThreshold needs 0 < alpha < 1")
+	}
+	k := math.Log(alpha) / math.Log(q)
+	return int(math.Ceil(k))
+}
+
+// GeometricTail returns P(Y >= k) = q^k, the probability of observing
+// at least k consecutive suspicions under the healthy hypothesis.
+func GeometricTail(q float64, k int) float64 {
+	return math.Pow(q, float64(k))
+}
+
+// Summary holds descriptive statistics of a sample.
+type Summary struct {
+	N         int
+	Mean, Std float64
+	Min, Max  float64
+	Sum       float64
+}
+
+// Summarize computes descriptive statistics (sample standard deviation,
+// n-1 denominator).
+func Summarize(xs []float64) Summary {
+	s := Summary{N: len(xs)}
+	if s.N == 0 {
+		return s
+	}
+	s.Min, s.Max = xs[0], xs[0]
+	for _, x := range xs {
+		s.Sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = s.Sum / float64(s.N)
+	if s.N > 1 {
+		var ss float64
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.Std = math.Sqrt(ss / float64(s.N-1))
+	}
+	return s
+}
+
+// Histogram bins xs into width-sized buckets starting at lo and returns
+// the counts; values below lo go into the first bin, values at or above
+// lo+width*len(counts) into the last.
+func Histogram(xs []float64, lo, width float64, bins int) []int {
+	counts := make([]int, bins)
+	for _, x := range xs {
+		i := int((x - lo) / width)
+		if i < 0 {
+			i = 0
+		}
+		if i >= bins {
+			i = bins - 1
+		}
+		counts[i]++
+	}
+	return counts
+}

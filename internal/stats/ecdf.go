@@ -1,0 +1,78 @@
+package stats
+
+import "sort"
+
+// ECDF is an empirical cumulative distribution function over a sample
+// set. It supports the two operations ParaStack's model needs:
+// evaluating Fn(x) and inverting it (quantiles over observed values).
+type ECDF struct {
+	sorted []float64
+}
+
+// NewECDF builds an ECDF from samples (the input slice is not retained).
+func NewECDF(samples []float64) *ECDF {
+	s := make([]float64, len(samples))
+	copy(s, samples)
+	sort.Float64s(s)
+	return &ECDF{sorted: s}
+}
+
+// N returns the sample count.
+func (e *ECDF) N() int { return len(e.sorted) }
+
+// F returns Fn(x) = fraction of samples <= x.
+func (e *ECDF) F(x float64) float64 {
+	if len(e.sorted) == 0 {
+		return 0
+	}
+	// First index with value > x.
+	i := sort.Search(len(e.sorted), func(i int) bool { return e.sorted[i] > x })
+	return float64(i) / float64(len(e.sorted))
+}
+
+// Quantile returns the smallest observed value t with Fn(t) >= p, i.e.
+// Fn^{-1}(p). For p <= 0 it returns the minimum; for p > 1 the maximum.
+// It panics on an empty ECDF.
+func (e *ECDF) Quantile(p float64) float64 {
+	n := len(e.sorted)
+	if n == 0 {
+		panic("stats: quantile of empty ECDF")
+	}
+	if p <= 0 {
+		return e.sorted[0]
+	}
+	k := int(p * float64(n))
+	// Fn(sorted[i]) >= (i+1)/n, so the smallest index with Fn >= p is
+	// ceil(p*n) - 1.
+	if float64(k) < p*float64(n) {
+		k++ // ceil
+	}
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	return e.sorted[k-1]
+}
+
+// Values returns distinct observed values in increasing order.
+func (e *ECDF) Values() []float64 {
+	out := make([]float64, 0, len(e.sorted))
+	for i, v := range e.sorted {
+		if i == 0 || v != e.sorted[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Below returns the largest observed value strictly below x and whether
+// one exists.
+func (e *ECDF) Below(x float64) (float64, bool) {
+	i := sort.Search(len(e.sorted), func(i int) bool { return e.sorted[i] >= x })
+	if i == 0 {
+		return 0, false
+	}
+	return e.sorted[i-1], true
+}

@@ -1,0 +1,210 @@
+// Package stats implements the statistical machinery ParaStack relies
+// on: the Swed–Eisenhart runs test for randomness (exact for small
+// samples, normal approximation for large ones), empirical CDFs with
+// quantile inversion, the binomial rule-of-thumb sample-size bound, and
+// the geometric significance test that turns consecutive "suspicions"
+// into a hang verdict.
+package stats
+
+import (
+	"math"
+)
+
+// RunsResult is the outcome of a runs test on a two-valued sequence.
+type RunsResult struct {
+	N1   int // count of values >= boundary ("positive")
+	N0   int // count of values < boundary ("negative")
+	Runs int // number of maximal same-valued stretches
+
+	// Random is the verdict: false means the randomness hypothesis is
+	// rejected at the test's significance level (or the test was not
+	// applicable, which the paper also treats as "not random" to avoid
+	// missing a non-random sampling process).
+	Random bool
+
+	// Lo and Hi bound the non-rejection region [Lo, Hi] when the test
+	// was applicable; both are 0 otherwise.
+	Lo, Hi int
+}
+
+// CountRuns codes the samples against the boundary (>= boundary is
+// positive) and counts positives, negatives, and runs, exactly as the
+// paper's example does.
+func CountRuns(samples []float64, boundary float64) (n1, n0, runs int) {
+	prev := 0 // 0 = none, 1 = positive, -1 = negative
+	for _, s := range samples {
+		cur := -1
+		if s >= boundary {
+			cur = 1
+			n1++
+		} else {
+			n0++
+		}
+		if cur != prev {
+			runs++
+			prev = cur
+		}
+	}
+	return n1, n0, runs
+}
+
+// Mean returns the arithmetic mean of samples (0 for an empty slice).
+func Mean(samples []float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, s := range samples {
+		sum += s
+	}
+	return sum / float64(len(samples))
+}
+
+// RunsTest performs a two-tailed runs test for randomness at
+// significance level alpha (the paper uses 0.05) on the sample
+// sequence, using the sample mean as the coding boundary.
+//
+// For small samples (N1 <= 20 && N0 <= 20) the exact Swed–Eisenhart
+// distribution of the number of runs is used; for larger samples the
+// normal approximation. When either side has fewer than two values the
+// non-rejection region is unavailable and the sequence is declared
+// not random, following the paper's conservative rule.
+func RunsTest(samples []float64, alpha float64) RunsResult {
+	boundary := Mean(samples)
+	n1, n0, runs := CountRuns(samples, boundary)
+	res := RunsResult{N1: n1, N0: n0, Runs: runs}
+	if n1 <= 1 || n0 <= 1 {
+		res.Random = false
+		return res
+	}
+	var lo, hi int
+	if n1 <= 20 && n0 <= 20 {
+		lo, hi = exactRunsRegion(n1, n0, alpha)
+	} else {
+		lo, hi = normalRunsRegion(n1, n0, alpha)
+	}
+	res.Lo, res.Hi = lo, hi
+	res.Random = runs >= lo && runs <= hi
+	return res
+}
+
+// runsPMF returns the exact probability that a random arrangement of
+// n1 positives and n0 negatives has exactly r runs.
+//
+//	P(R = 2k)   = 2·C(n1-1,k-1)·C(n0-1,k-1) / C(n1+n0, n1)
+//	P(R = 2k+1) = [C(n1-1,k-1)·C(n0-1,k) + C(n1-1,k)·C(n0-1,k-1)] / C(n1+n0, n1)
+func runsPMF(n1, n0, r int) float64 {
+	if r < 2 || r > n1+n0 {
+		return 0
+	}
+	denom := lnChoose(n1+n0, n1)
+	if r%2 == 0 {
+		k := r / 2
+		if k-1 > n1-1 || k-1 > n0-1 {
+			return 0
+		}
+		return 2 * math.Exp(lnChoose(n1-1, k-1)+lnChoose(n0-1, k-1)-denom)
+	}
+	k := (r - 1) / 2
+	var p float64
+	if k-1 <= n1-1 && k <= n0-1 && k >= 1 {
+		p += math.Exp(lnChoose(n1-1, k-1) + lnChoose(n0-1, k) - denom)
+	}
+	if k <= n1-1 && k-1 <= n0-1 && k >= 1 {
+		p += math.Exp(lnChoose(n1-1, k) + lnChoose(n0-1, k-1) - denom)
+	}
+	return p
+}
+
+// exactRunsRegion returns the two-tailed non-rejection region [lo, hi]:
+// lo is the smallest r with P(R <= r) > alpha/2, hi the largest r with
+// P(R >= r) > alpha/2.
+func exactRunsRegion(n1, n0 int, alpha float64) (lo, hi int) {
+	maxR := n1 + n0
+	// CDF from below.
+	cum := 0.0
+	lo = 2
+	for r := 2; r <= maxR; r++ {
+		cum += runsPMF(n1, n0, r)
+		if cum > alpha/2 {
+			lo = r
+			break
+		}
+	}
+	// CDF from above.
+	cum = 0.0
+	hi = maxR
+	for r := maxR; r >= 2; r-- {
+		cum += runsPMF(n1, n0, r)
+		if cum > alpha/2 {
+			hi = r
+			break
+		}
+	}
+	return lo, hi
+}
+
+// normalRunsRegion uses the large-sample normal approximation:
+// mean = 2·n1·n0/n + 1, var = (mean-1)(mean-2)/(n-1).
+func normalRunsRegion(n1, n0 int, alpha float64) (lo, hi int) {
+	n := float64(n1 + n0)
+	mu := 2*float64(n1)*float64(n0)/n + 1
+	sigma := math.Sqrt((mu - 1) * (mu - 2) / (n - 1))
+	z := normalQuantile(1 - alpha/2)
+	lo = int(math.Ceil(mu - z*sigma))
+	hi = int(math.Floor(mu + z*sigma))
+	if lo < 2 {
+		lo = 2
+	}
+	if hi > n1+n0 {
+		hi = n1 + n0
+	}
+	return lo, hi
+}
+
+// lnChoose returns ln(C(n, k)), with C(n, k) = 0 mapped to -Inf.
+func lnChoose(n, k int) float64 {
+	if k < 0 || k > n {
+		return math.Inf(-1)
+	}
+	lg1, _ := math.Lgamma(float64(n + 1))
+	lg2, _ := math.Lgamma(float64(k + 1))
+	lg3, _ := math.Lgamma(float64(n - k + 1))
+	return lg1 - lg2 - lg3
+}
+
+// normalQuantile returns the p-quantile of the standard normal
+// distribution using the Acklam rational approximation (relative error
+// below 1.15e-9, ample for test thresholds).
+func normalQuantile(p float64) float64 {
+	if p <= 0 {
+		return math.Inf(-1)
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	a := [6]float64{-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02,
+		1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00}
+	b := [5]float64{-5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02,
+		6.680131188771972e+01, -1.328068155288572e+01}
+	c := [6]float64{-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00,
+		-2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00}
+	d := [4]float64{7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00,
+		3.754408661907416e+00}
+	const pLow = 0.02425
+	switch {
+	case p < pLow:
+		q := math.Sqrt(-2 * math.Log(p))
+		return (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p <= 1-pLow:
+		q := p - 0.5
+		r := q * q
+		return (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	default:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		return -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	}
+}

@@ -1,0 +1,164 @@
+// Package timeout implements the baseline detectors ParaStack is
+// compared against: the fixed-(I, K) scheme of the paper's Table 1 (a
+// hang is reported after K consecutive fixed-interval observations of
+// low S'out) and an IO-Watchdog-style activity watchdog.
+package timeout
+
+import (
+	"time"
+
+	"parastack/internal/mpi"
+	"parastack/internal/sim"
+	"parastack/internal/stack"
+	"parastack/internal/topology"
+)
+
+// Report is a baseline detector's verdict.
+type Report struct {
+	DetectedAt time.Duration
+}
+
+// Config tunes the fixed-(I, K) detector.
+type Config struct {
+	// C is the number of monitored processes (default 10).
+	C int
+	// Interval is the fixed sampling interval I.
+	Interval time.Duration
+	// K is the number of consecutive low observations that report a hang.
+	K int
+	// Threshold defines "low": S'out <= Threshold (default 0, i.e. all
+	// monitored processes inside MPI).
+	Threshold float64
+	// OnHang overrides the default engine stop.
+	OnHang func(*Report)
+}
+
+// FixedIK is the paper's strawman: a priori fixed I and K, no model, no
+// adaptation. Its false positives on FT (Table 1) are what motivate
+// ParaStack.
+type FixedIK struct {
+	cfg    Config
+	w      *mpi.World
+	ranks  []int
+	report *Report
+}
+
+// NewFixedIK attaches the detector to w, monitoring a random set of C
+// ranks chosen from cluster.
+func NewFixedIK(w *mpi.World, cluster *topology.Cluster, cfg Config) *FixedIK {
+	if cfg.C == 0 {
+		cfg.C = 10
+	}
+	if cfg.Interval == 0 {
+		cfg.Interval = 400 * time.Millisecond
+	}
+	if cfg.K == 0 {
+		cfg.K = 5
+	}
+	set := cluster.PickMonitorSet(w.Engine().Rand(), cfg.C, nil)
+	return &FixedIK{cfg: cfg, w: w, ranks: set.Ranks}
+}
+
+// Report returns the verdict, nil if no hang was reported.
+func (d *FixedIK) Report() *Report { return d.report }
+
+// Start spawns the detector process.
+func (d *FixedIK) Start() {
+	eng := d.w.Engine()
+	eng.SpawnNow("timeout-detector", func(p *sim.Proc) {
+		consecutive := 0
+		for {
+			p.Sleep(d.cfg.Interval)
+			if d.w.Done() {
+				return
+			}
+			out := 0
+			for _, id := range d.ranks {
+				if d.w.Rank(id).Stack().State() == stack.OutMPI {
+					out++
+				}
+			}
+			sout := float64(out) / float64(len(d.ranks))
+			if sout <= d.cfg.Threshold {
+				consecutive++
+			} else {
+				consecutive = 0
+			}
+			if consecutive >= d.cfg.K {
+				d.report = &Report{DetectedAt: time.Duration(eng.Now())}
+				if d.cfg.OnHang != nil {
+					d.cfg.OnHang(d.report)
+				} else {
+					eng.Stop()
+				}
+				return
+			}
+		}
+	})
+}
+
+// Watchdog is an IO-Watchdog-flavored baseline: it reports a hang when
+// no monitored activity (stack motion anywhere in the job) is seen for
+// a full timeout window. Like the real tool it needs a user-chosen
+// timeout (default 1 hour) and burns that much allocation before
+// firing; unlike ParaStack it cannot see through busy-wait loops, whose
+// perpetual polling looks like activity.
+type Watchdog struct {
+	Timeout time.Duration
+	OnHang  func(*Report)
+
+	w      *mpi.World
+	report *Report
+}
+
+// NewWatchdog attaches a watchdog with the given timeout (0 selects the
+// IO-Watchdog default of 1 hour).
+func NewWatchdog(w *mpi.World, timeout time.Duration) *Watchdog {
+	if timeout == 0 {
+		timeout = time.Hour
+	}
+	return &Watchdog{Timeout: timeout, w: w}
+}
+
+// Report returns the verdict, nil if none.
+func (d *Watchdog) Report() *Report { return d.report }
+
+// Start spawns the watchdog process; it samples 8 times per window.
+func (d *Watchdog) Start() {
+	eng := d.w.Engine()
+	eng.SpawnNow("io-watchdog", func(p *sim.Proc) {
+		last := make([]uint64, d.w.Size())
+		for i, r := range d.w.Ranks() {
+			last[i] = r.Stack().Version()
+		}
+		quiet := time.Duration(0)
+		step := d.Timeout / 8
+		for {
+			p.Sleep(step)
+			if d.w.Done() {
+				return
+			}
+			moved := false
+			for i, r := range d.w.Ranks() {
+				if v := r.Stack().Version(); v != last[i] {
+					last[i] = v
+					moved = true
+				}
+			}
+			if moved {
+				quiet = 0
+				continue
+			}
+			quiet += step
+			if quiet >= d.Timeout {
+				d.report = &Report{DetectedAt: time.Duration(eng.Now())}
+				if d.OnHang != nil {
+					d.OnHang(d.report)
+				} else {
+					eng.Stop()
+				}
+				return
+			}
+		}
+	})
+}

@@ -1,0 +1,149 @@
+package timeout
+
+import (
+	"testing"
+	"time"
+
+	"parastack/internal/fault"
+	"parastack/internal/mpi"
+	"parastack/internal/sim"
+	"parastack/internal/topology"
+)
+
+// app: compute+allreduce loop with a configurable long-MPI phase to
+// provoke false positives. compute is the base computation per
+// iteration (plus up to 100ms of jitter).
+func app(compute time.Duration, longMPIBytes int, inj *fault.Injector, iters int) func(*mpi.Rank) {
+	return func(r *mpi.Rank) {
+		eng := r.World().Engine()
+		for it := 0; it < iters; it++ {
+			r.Call("step", func() {
+				d := compute + time.Duration(eng.Rand().Int63n(int64(100*time.Millisecond)))
+				r.Compute(d)
+				inj.Check(r, it)
+			})
+			if longMPIBytes > 0 {
+				r.Alltoall(longMPIBytes)
+			}
+			r.Allreduce(8)
+		}
+	}
+}
+
+func setup(seed int64, lat mpi.Latency) (*sim.Engine, *mpi.World, *topology.Cluster) {
+	eng := sim.NewEngine(seed)
+	w := mpi.NewWorld(eng, 16, lat)
+	cl := topology.New(4, 4, seed)
+	return eng, w, cl
+}
+
+func TestFixedIKDetectsRealHang(t *testing.T) {
+	inj := fault.NewInjector(fault.Plan{Kind: fault.ComputationHang, Rank: 3, Iteration: 40})
+	eng, w, cl := setup(1, mpi.Latency{})
+	// Threshold 0.2 tolerates the faulty (OUT_MPI) rank itself being in
+	// the monitored set — the corner case ParaStack solves with two
+	// disjoint sets, which this baseline does not have.
+	d := NewFixedIK(w, cl, Config{C: 8, Interval: 400 * time.Millisecond, K: 5, Threshold: 0.2})
+	w.Launch(app(50*time.Millisecond, 0, inj, 500))
+	d.Start()
+	eng.Run(time.Hour)
+	if d.Report() == nil {
+		t.Fatal("fixed-IK missed the hang")
+	}
+	_, at := inj.Triggered()
+	delay := d.Report().DetectedAt - at
+	if delay <= 0 || delay > 10*time.Second {
+		t.Fatalf("delay = %v", delay)
+	}
+}
+
+func TestFixedIKNoFalsePositiveOnLivelyApp(t *testing.T) {
+	eng, w, cl := setup(2, mpi.Latency{})
+	d := NewFixedIK(w, cl, Config{C: 8, Interval: 400 * time.Millisecond, K: 5})
+	w.Launch(app(50*time.Millisecond, 0, nil, 300))
+	d.Start()
+	eng.Run(time.Hour)
+	if !w.Done() {
+		t.Fatal("app did not finish")
+	}
+	if d.Report() != nil {
+		t.Fatalf("false positive at %v", d.Report().DetectedAt)
+	}
+}
+
+func TestFixedIKFalsePositiveOnLongCollective(t *testing.T) {
+	// A slow interconnect turns each alltoall into a multi-second
+	// all-IN_MPI stretch; a (400ms, 5) timeout must false-alarm, and a
+	// (800ms, 10) one must not — the Table 1 effect.
+	slow := mpi.Latency{CollBytesPerSec: 2e8, Jitter: 0.05}
+	eng, w, cl := setup(3, slow)
+	fp := NewFixedIK(w, cl, Config{C: 8, Interval: 400 * time.Millisecond, K: 5})
+	w.Launch(app(1500*time.Millisecond, 1<<27, nil, 60)) // ~2.7s alltoall per iteration
+	fp.Start()
+	eng.Run(time.Hour)
+	if fp.Report() == nil {
+		t.Fatal("expected a false positive from the (400ms, 5) timeout")
+	}
+
+	eng2, w2, cl2 := setup(3, slow)
+	ok := NewFixedIK(w2, cl2, Config{C: 8, Interval: 800 * time.Millisecond, K: 10})
+	w2.Launch(app(1500*time.Millisecond, 1<<27, nil, 60))
+	ok.Start()
+	eng2.Run(time.Hour)
+	if !w2.Done() {
+		t.Fatal("app did not finish under (800ms, 10)")
+	}
+	if ok.Report() != nil {
+		t.Fatal("(800ms, 10) should tolerate a 2.6s collective")
+	}
+}
+
+func TestWatchdogDetectsHangAfterTimeout(t *testing.T) {
+	inj := fault.NewInjector(fault.Plan{Kind: fault.CommunicationDeadlock, Rank: 2, Iteration: 20})
+	eng, w, _ := setup(4, mpi.Latency{})
+	d := NewWatchdog(w, 2*time.Minute)
+	w.Launch(app(50*time.Millisecond, 0, inj, 500))
+	d.Start()
+	eng.Run(3 * time.Hour)
+	if d.Report() == nil {
+		t.Fatal("watchdog missed the deadlock")
+	}
+	_, at := inj.Triggered()
+	delay := d.Report().DetectedAt - at
+	if delay < 2*time.Minute {
+		t.Fatalf("watchdog fired after %v, before its own timeout", delay)
+	}
+}
+
+func TestWatchdogQuietOnHealthyRun(t *testing.T) {
+	eng, w, _ := setup(5, mpi.Latency{})
+	d := NewWatchdog(w, time.Minute)
+	w.Launch(app(50*time.Millisecond, 0, nil, 200))
+	d.Start()
+	eng.Run(time.Hour)
+	if !w.Done() || d.Report() != nil {
+		t.Fatal("watchdog misfired on a healthy run")
+	}
+}
+
+func TestWatchdogBlindToBusyWaitHang(t *testing.T) {
+	// A rank stuck in a busy-wait loop keeps flipping its stack, which
+	// an activity watchdog reads as life — a documented weakness.
+	eng, w, _ := setup(6, mpi.Latency{})
+	d := NewWatchdog(w, time.Minute)
+	w.Launch(func(r *mpi.Rank) {
+		if r.ID() == 0 {
+			q := r.Irecv(1, 999) // never satisfied
+			for !r.TestFor(q, 5*time.Millisecond) {
+				r.Spin(100 * time.Microsecond)
+			}
+		} else {
+			r.Recv(0, 998) // never satisfied either
+		}
+	})
+	d.Start()
+	eng.Run(10 * time.Minute)
+	if d.Report() != nil {
+		t.Fatal("watchdog fired despite busy-wait activity (expected blindness)")
+	}
+}

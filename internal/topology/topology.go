@@ -1,0 +1,161 @@
+// Package topology models the cluster layout ParaStack operates in:
+// nodes, processes-per-node, the MPI-rank ↔ process-id mapping rules of
+// the paper's §5, and the per-node monitor placement (one monitor per
+// node; only nodes hosting currently-monitored ranks are "active").
+package topology
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Cluster describes an allocation: Nodes compute nodes with PPN
+// processes each, ranks assigned block-wise exactly as the paper's
+// job-submission mapping implies:
+//
+//  1. MPI rank increases with process id on the same node, and
+//  2. MPI rank increases with node id in the ordered node list,
+//
+// so monitor i owns ranks [i*ppn, (i+1)*ppn).
+type Cluster struct {
+	Nodes int
+	PPN   int
+
+	// pids simulates the OS process-id table: pids[rank] is the pid of
+	// the MPI process hosting that rank. Pids on one node are assigned
+	// in increasing order with rank, per mapping rule (1).
+	pids []int
+}
+
+// New builds a cluster with the given node count and processes per
+// node. Pids are synthesized deterministically from seed to exercise
+// the sorting logic in RanksOfNode.
+func New(nodes, ppn int, seed int64) *Cluster {
+	if nodes <= 0 || ppn <= 0 {
+		panic("topology: nodes and ppn must be positive")
+	}
+	c := &Cluster{Nodes: nodes, PPN: ppn, pids: make([]int, nodes*ppn)}
+	rng := rand.New(rand.NewSource(seed))
+	pid := 1000
+	for n := 0; n < nodes; n++ {
+		// Each node has its own pid space; pids increase with local rank.
+		pid = 1000 + rng.Intn(30000)
+		for l := 0; l < ppn; l++ {
+			c.pids[n*ppn+l] = pid
+			pid += 1 + rng.Intn(3)
+		}
+	}
+	return c
+}
+
+// Size returns the total number of ranks.
+func (c *Cluster) Size() int { return c.Nodes * c.PPN }
+
+// NodeOf returns the node hosting the given rank.
+func (c *Cluster) NodeOf(rank int) int {
+	if rank < 0 || rank >= c.Size() {
+		panic(fmt.Sprintf("topology: rank %d out of range [0,%d)", rank, c.Size()))
+	}
+	return rank / c.PPN
+}
+
+// RankRange returns the half-open rank interval [lo, hi) hosted on node.
+func (c *Cluster) RankRange(node int) (lo, hi int) {
+	if node < 0 || node >= c.Nodes {
+		panic(fmt.Sprintf("topology: node %d out of range [0,%d)", node, c.Nodes))
+	}
+	return node * c.PPN, (node + 1) * c.PPN
+}
+
+// PidOf returns the simulated OS pid of a rank's process.
+func (c *Cluster) PidOf(rank int) int { return c.pids[rank] }
+
+// RanksOfNode reconstructs the local pid→rank mapping the way the
+// paper's monitor does: list the target job's pids on the node (a `ps`
+// scan), sort them, and assign ranks in increasing pid order starting
+// at node*ppn. It returns rank indexed by sorted position.
+func (c *Cluster) RanksOfNode(node int) []int {
+	lo, hi := c.RankRange(node)
+	type pr struct{ pid, rank int }
+	prs := make([]pr, 0, hi-lo)
+	for r := lo; r < hi; r++ {
+		prs = append(prs, pr{c.pids[r], r})
+	}
+	sort.Slice(prs, func(i, j int) bool { return prs[i].pid < prs[j].pid })
+	out := make([]int, len(prs))
+	for i, p := range prs {
+		out[i] = lo + i
+		// Consistency check: sorting pids must reproduce rank order,
+		// because pids were assigned in rank order on the node.
+		if p.rank != lo+i {
+			panic("topology: pid order does not match rank order")
+		}
+	}
+	return out
+}
+
+// MonitorSet is a selection of ranks to observe plus the set of nodes
+// whose monitors must be active to observe them.
+type MonitorSet struct {
+	Ranks []int
+	Nodes []int
+}
+
+// PickMonitorSet selects c distinct ranks uniformly at random
+// (excluding any in excl) and computes the active-node set. If fewer
+// than c ranks are available it takes them all.
+func (c *Cluster) PickMonitorSet(rng *rand.Rand, count int, excl map[int]bool) MonitorSet {
+	avail := make([]int, 0, c.Size())
+	for r := 0; r < c.Size(); r++ {
+		if !excl[r] {
+			avail = append(avail, r)
+		}
+	}
+	rng.Shuffle(len(avail), func(i, j int) { avail[i], avail[j] = avail[j], avail[i] })
+	if count > len(avail) {
+		count = len(avail)
+	}
+	ranks := append([]int(nil), avail[:count]...)
+	sort.Ints(ranks)
+	nodeSet := map[int]bool{}
+	for _, r := range ranks {
+		nodeSet[c.NodeOf(r)] = true
+	}
+	nodes := make([]int, 0, len(nodeSet))
+	for n := range nodeSet {
+		nodes = append(nodes, n)
+	}
+	sort.Ints(nodes)
+	return MonitorSet{Ranks: ranks, Nodes: nodes}
+}
+
+// DisjointMonitorSets returns two disjoint random monitor sets of the
+// requested size, the structure ParaStack alternates between to defeat
+// the corner case of the faulty process hiding inside the single
+// monitored set. If the cluster has fewer than 2*count ranks, the sets
+// are as large as availability allows.
+func (c *Cluster) DisjointMonitorSets(rng *rand.Rand, count int) (a, b MonitorSet) {
+	sets := c.NDisjointMonitorSets(rng, 2, count)
+	return sets[0], sets[1]
+}
+
+// NDisjointMonitorSets generalizes DisjointMonitorSets to n pairwise
+// disjoint sets — the paper notes that being resilient to multiple
+// simultaneous faulty processes requires more than two. Later sets may
+// be smaller (or empty) when the cluster runs out of ranks.
+func (c *Cluster) NDisjointMonitorSets(rng *rand.Rand, n, count int) []MonitorSet {
+	if n < 1 {
+		n = 1
+	}
+	out := make([]MonitorSet, 0, n)
+	excl := map[int]bool{}
+	for i := 0; i < n; i++ {
+		s := c.PickMonitorSet(rng, count, excl)
+		for _, r := range s.Ranks {
+			excl[r] = true
+		}
+		out = append(out, s)
+	}
+	return out
+}

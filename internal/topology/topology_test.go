@@ -1,0 +1,143 @@
+package topology
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNodeOfAndRankRange(t *testing.T) {
+	c := New(8, 32, 1)
+	if c.Size() != 256 {
+		t.Fatalf("Size = %d", c.Size())
+	}
+	if c.NodeOf(0) != 0 || c.NodeOf(31) != 0 || c.NodeOf(32) != 1 || c.NodeOf(255) != 7 {
+		t.Fatal("NodeOf mapping wrong")
+	}
+	lo, hi := c.RankRange(3)
+	if lo != 96 || hi != 128 {
+		t.Fatalf("RankRange(3) = [%d,%d)", lo, hi)
+	}
+}
+
+func TestPidsIncreaseWithLocalRank(t *testing.T) {
+	c := New(4, 16, 42)
+	for n := 0; n < 4; n++ {
+		lo, hi := c.RankRange(n)
+		for r := lo + 1; r < hi; r++ {
+			if c.PidOf(r) <= c.PidOf(r-1) {
+				t.Fatalf("pid not increasing with rank on node %d: rank %d pid %d, rank %d pid %d",
+					n, r-1, c.PidOf(r-1), r, c.PidOf(r))
+			}
+		}
+	}
+}
+
+func TestRanksOfNodeSortRecoversMapping(t *testing.T) {
+	c := New(8, 32, 7)
+	for n := 0; n < 8; n++ {
+		ranks := c.RanksOfNode(n)
+		lo, hi := c.RankRange(n)
+		if len(ranks) != hi-lo {
+			t.Fatalf("node %d: %d ranks", n, len(ranks))
+		}
+		for i, r := range ranks {
+			if r != lo+i {
+				t.Fatalf("node %d: position %d mapped to rank %d, want %d", n, i, r, lo+i)
+			}
+		}
+	}
+}
+
+func TestPickMonitorSet(t *testing.T) {
+	c := New(8, 32, 1)
+	rng := rand.New(rand.NewSource(3))
+	s := c.PickMonitorSet(rng, 10, nil)
+	if len(s.Ranks) != 10 {
+		t.Fatalf("got %d ranks", len(s.Ranks))
+	}
+	seen := map[int]bool{}
+	for _, r := range s.Ranks {
+		if seen[r] {
+			t.Fatalf("duplicate rank %d", r)
+		}
+		seen[r] = true
+		if r < 0 || r >= 256 {
+			t.Fatalf("rank %d out of range", r)
+		}
+	}
+	// Active nodes must exactly cover the selected ranks.
+	nodeSet := map[int]bool{}
+	for _, n := range s.Nodes {
+		nodeSet[n] = true
+	}
+	for _, r := range s.Ranks {
+		if !nodeSet[c.NodeOf(r)] {
+			t.Fatalf("rank %d's node %d not active", r, c.NodeOf(r))
+		}
+	}
+	if len(s.Nodes) > 10 {
+		t.Fatalf("more active nodes (%d) than monitored ranks", len(s.Nodes))
+	}
+}
+
+func TestDisjointMonitorSets(t *testing.T) {
+	c := New(8, 32, 1)
+	rng := rand.New(rand.NewSource(5))
+	a, b := c.DisjointMonitorSets(rng, 10)
+	if len(a.Ranks) != 10 || len(b.Ranks) != 10 {
+		t.Fatalf("sizes %d, %d", len(a.Ranks), len(b.Ranks))
+	}
+	inA := map[int]bool{}
+	for _, r := range a.Ranks {
+		inA[r] = true
+	}
+	for _, r := range b.Ranks {
+		if inA[r] {
+			t.Fatalf("rank %d in both sets", r)
+		}
+	}
+}
+
+func TestDisjointMonitorSetsSmallCluster(t *testing.T) {
+	// 12 ranks, two sets of 10 requested: second set gets the remaining 2.
+	c := New(3, 4, 1)
+	rng := rand.New(rand.NewSource(5))
+	a, b := c.DisjointMonitorSets(rng, 10)
+	if len(a.Ranks) != 10 || len(b.Ranks) != 2 {
+		t.Fatalf("sizes %d, %d; want 10, 2", len(a.Ranks), len(b.Ranks))
+	}
+}
+
+// Property: NodeOf is consistent with RankRange for arbitrary shapes.
+func TestNodeOfProperty(t *testing.T) {
+	f := func(nodesRaw, ppnRaw uint8, rankRaw uint16) bool {
+		nodes := int(nodesRaw%16) + 1
+		ppn := int(ppnRaw%16) + 1
+		c := New(nodes, ppn, 1)
+		rank := int(rankRaw) % c.Size()
+		n := c.NodeOf(rank)
+		lo, hi := c.RankRange(n)
+		return rank >= lo && rank < hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPickMonitorSetUniformish(t *testing.T) {
+	// Over many draws every rank should get picked at least once.
+	c := New(2, 8, 1)
+	rng := rand.New(rand.NewSource(9))
+	hits := make([]int, c.Size())
+	for i := 0; i < 400; i++ {
+		for _, r := range c.PickMonitorSet(rng, 4, nil).Ranks {
+			hits[r]++
+		}
+	}
+	for r, h := range hits {
+		if h == 0 {
+			t.Fatalf("rank %d never selected in 400 draws", r)
+		}
+	}
+}

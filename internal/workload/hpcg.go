@@ -1,0 +1,49 @@
+package workload
+
+import (
+	"math"
+
+	"parastack/internal/fault"
+	"parastack/internal/mpi"
+)
+
+// hpcgBody is the HPCG skeleton: a preconditioned CG iteration with
+// multiple distinct phases — sparse matrix-vector product with halo
+// exchange, a symmetric Gauss-Seidel multigrid preconditioner walking
+// Levels grids, and two dot-product allreduces. All phases are
+// iterative (the property the paper relies on when noting HPCG still
+// fits ParaStack's single model despite being multi-phase).
+func (p Params) hpcgBody(inj *fault.Injector) func(*mpi.Rank) {
+	size := p.Procs
+	levels := p.Levels
+	if levels <= 0 {
+		levels = 3
+	}
+	// Preconditioner level weights: 2^-l normalized to the 0.45 budget.
+	sum := 0.0
+	for l := 0; l < levels; l++ {
+		sum += math.Pow(0.5, float64(l))
+	}
+	return func(r *mpi.Rank) {
+		next := (r.ID() + 1) % size
+		prev := (r.ID() + size - 1) % size
+		for it := 0; it < p.Iters; it++ {
+			tag := it * (4*levels + 8)
+			r.Call("spmv", func() {
+				r.Compute(p.chunk(r, 0.35))
+				inj.Check(r, it)
+			})
+			exchange(r, next, prev, tag, p.HaloBytes)
+			for l := 0; l < levels; l++ {
+				r.Call("mg_sym_gs", func() {
+					r.Compute(p.chunk(r, 0.45*math.Pow(0.5, float64(l))/sum))
+				})
+				exchange(r, next, prev, tag+4+4*l, p.HaloBytes>>(2*l))
+			}
+			r.Call("dot_rtz", func() { r.Compute(p.chunk(r, 0.1)) })
+			r.Allreduce(8)
+			r.Call("waxpby", func() { r.Compute(p.chunk(r, 0.1)) })
+			r.Allreduce(8)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package workload
+
+import (
+	"time"
+
+	"parastack/internal/fault"
+	"parastack/internal/mpi"
+)
+
+// busyWait completes a request HPL-style: a busy-wait loop of dense
+// MPI_Test polling slices separated by tiny application-code gaps (the
+// paper's third communication style). The polling slice grows
+// geometrically so that a rank stuck here during a hang flips state
+// only a bounded number of times per second — keeping simulation event
+// counts finite — while still spending the overwhelming share of its
+// time IN_MPI, as real polling loops do. In healthy runs broadcasts
+// arrive within a few slices, so the duty cycle there stays lively.
+func busyWait(r *mpi.Rank, q *mpi.Request) {
+	slice := 2 * time.Millisecond
+	const maxSlice = 100 * time.Millisecond
+	for !r.TestFor(q, slice) {
+		r.Spin(100 * time.Microsecond)
+		if slice < maxSlice {
+			slice *= 2
+		}
+	}
+}
+
+// hplBody is the High-Performance Linpack skeleton. Per panel k:
+//
+//   - the owner column factorizes the panel (a pivot chain down the
+//     column),
+//   - the panel is broadcast along each process row by a pipelined ring
+//     whose receivers poll with busy-wait loops (HPL's own collectives
+//     are implemented this way, which is why a few non-faulty HPL
+//     processes can be found OUT_MPI during a hang),
+//   - everyone applies the trailing update, whose cost decays as
+//     (1-k/K)² — HPL's characteristic shrinking iterations.
+func (p Params) hplBody(inj *fault.Injector) func(*mpi.Rank) {
+	rows, cols := grid2D(p.Procs)
+	K := p.Iters
+	return func(r *mpi.Rank) {
+		row, col := r.ID()/cols, r.ID()%cols
+		rankOf := func(rw, cl int) int { return rw*cols + cl }
+		for k := 0; k < K; k++ {
+			remaining := 1 - float64(k)/float64(K)
+			scale := remaining * remaining
+			ownerCol := k % cols
+
+			if col == ownerCol {
+				r.Call("panel_factor", func() {
+					// Pivot chain down the owner column. The chain is
+					// serial, so each link carries 1/rows of the panel
+					// budget: the whole column spends ≈0.15·c0·scale on
+					// the panel, like the real pipelined factorization.
+					if row > 0 {
+						r.Recv(rankOf(row-1, col), k*4+1)
+					}
+					r.Compute(time.Duration(float64(p.chunk(r, 0.15)) * scale / float64(rows)))
+					if row < rows-1 {
+						r.Send(rankOf(row+1, col), k*4+1, 4096)
+					}
+					inj.Check(r, k)
+				})
+			}
+
+			// Ring broadcast of the panel along the process row,
+			// receivers polling via busy-wait.
+			if cols > 1 {
+				right := (col + 1) % cols
+				left := (col + cols - 1) % cols
+				if col == ownerCol {
+					r.Send(rankOf(row, right), k*4+2, p.HaloBytes)
+				} else {
+					q := r.Irecv(rankOf(row, left), k*4+2)
+					r.Call("hpl_bcast_poll", func() { busyWait(r, q) })
+					if right != ownerCol {
+						r.Send(rankOf(row, right), k*4+2, p.HaloBytes)
+					}
+				}
+			}
+
+			r.Call("trailing_update", func() {
+				r.Compute(time.Duration(float64(p.chunk(r, 0.85)) * scale))
+				if col != ownerCol {
+					inj.Check(r, k)
+				}
+			})
+
+			if p.ReduceEvery > 0 && (k+1)%p.ReduceEvery == 0 {
+				r.Allreduce(8) // norm check
+			}
+		}
+	}
+}

@@ -1,0 +1,292 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"parastack/internal/fault"
+	"parastack/internal/mpi"
+	"parastack/internal/noise"
+	"parastack/internal/sim"
+)
+
+func TestLookupPaperConfigurations(t *testing.T) {
+	combos := []struct {
+		name, class string
+		procs       int
+	}{
+		{"BT", "D", 256}, {"BT", "E", 1024},
+		{"CG", "D", 256}, {"CG", "E", 1024},
+		{"FT", "D", 256}, {"FT", "E", 256}, {"FT", "E", 1024},
+		{"LU", "D", 256}, {"LU", "E", 1024},
+		{"MG", "E", 256},
+		{"SP", "D", 256}, {"SP", "E", 1024},
+		{"HPL", "8e4", 256}, {"HPL", "2e5", 1024}, {"HPL", "2.5e5", 4096},
+		{"HPL", "3e5", 8192}, {"HPL", "3.5e5", 16384},
+		{"HPCG", "64", 256}, {"HPCG", "64", 1024},
+	}
+	for _, c := range combos {
+		p, err := Lookup(c.name, c.class, c.procs)
+		if err != nil {
+			t.Errorf("Lookup(%s,%s,%d): %v", c.name, c.class, c.procs, err)
+			continue
+		}
+		if p.Iters <= 0 || p.Compute <= 0 {
+			t.Errorf("%v: bad params %+v", p.Spec, p)
+		}
+	}
+}
+
+func TestLookupUnknown(t *testing.T) {
+	if _, err := Lookup("LINPACK", "D", 256); err == nil {
+		t.Fatal("unknown benchmark must error")
+	}
+	if _, err := Lookup("BT", "Z", 256); err == nil {
+		t.Fatal("unknown class must error")
+	}
+}
+
+func TestHPCGWeaklyScaled(t *testing.T) {
+	a := MustLookup("HPCG", "64", 256)
+	b := MustLookup("HPCG", "64", 4096)
+	if a.Compute != b.Compute {
+		t.Fatalf("HPCG compute must be scale-independent: %v vs %v", a.Compute, b.Compute)
+	}
+}
+
+func TestStrongScalingShrinksPerRankWork(t *testing.T) {
+	a := MustLookup("BT", "E", 1024)
+	b := MustLookup("BT", "E", 4096)
+	if b.Compute >= a.Compute {
+		t.Fatalf("per-rank compute must shrink with scale: %v → %v", a.Compute, b.Compute)
+	}
+}
+
+func TestGrid2DProperty(t *testing.T) {
+	f := func(raw uint16) bool {
+		p := int(raw)%4096 + 1
+		r, c := grid2D(p)
+		return r*c == p && r <= c && r >= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+	if r, c := grid2D(256); r != 16 || c != 16 {
+		t.Fatalf("grid2D(256) = %d×%d", r, c)
+	}
+}
+
+// small returns a scaled-down Params for fast structural tests.
+func small(name string) Params {
+	p := Params{
+		Spec:        Spec{Name: name, Class: "test", Procs: 16},
+		Iters:       6,
+		Compute:     30 * time.Millisecond,
+		Skew:        0.1,
+		HaloBytes:   8 << 10,
+		CollBytes:   64 << 10,
+		ReduceEvery: 1,
+		Levels:      3,
+	}
+	return p
+}
+
+func TestAllBodiesComplete(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			eng := sim.NewEngine(5)
+			w := mpi.NewWorld(eng, 16, mpi.Latency{})
+			w.Launch(small(name).Body(nil))
+			eng.Run(time.Hour)
+			if !w.Done() {
+				t.Fatalf("%s did not complete (finished %d/16)", name, w.Finished())
+			}
+		})
+	}
+}
+
+func TestAllBodiesHangOnComputationFault(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			inj := fault.NewInjector(fault.Plan{Kind: fault.ComputationHang, Rank: 7, Iteration: 2})
+			eng := sim.NewEngine(6)
+			w := mpi.NewWorld(eng, 16, mpi.Latency{})
+			w.Launch(small(name).Body(inj))
+			eng.Run(time.Hour)
+			if w.Done() {
+				t.Fatalf("%s completed despite injected hang", name)
+			}
+			if trig, _ := inj.Triggered(); !trig {
+				t.Fatalf("%s never reached the fault site", name)
+			}
+			// The faulty rank must be OUT_MPI; at least half the others
+			// should have piled into MPI by now.
+			if w.Rank(7).InMPI() {
+				t.Fatalf("%s: faulty rank is IN_MPI", name)
+			}
+			in := 0
+			for _, r := range w.Ranks() {
+				if r.InMPI() {
+					in++
+				}
+			}
+			if in < 8 {
+				t.Fatalf("%s: only %d/16 ranks blocked in MPI after hang", name, in)
+			}
+		})
+	}
+}
+
+func TestDeterministicCompletion(t *testing.T) {
+	run := func() sim.Time {
+		eng := sim.NewEngine(77)
+		w := mpi.NewWorld(eng, 16, mpi.Latency{})
+		w.Launch(small("LU").Body(nil))
+		eng.Run(time.Hour)
+		return w.FinishedAt()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("nondeterministic completion: %v vs %v", a, b)
+	}
+}
+
+// Calibration checks: clean-run durations on the matching platform must
+// land near the paper's Table 6 values.
+func TestCalibrationFT(t *testing.T) {
+	p := MustLookup("FT", "D", 256)
+	prof := noise.Tardis()
+	eng := sim.NewEngine(1)
+	w := mpi.NewWorld(eng, 256, prof.Latency())
+	prof.Apply(w, eng.Rand(), 32, p.EstimatedDuration())
+	w.Launch(p.Body(nil))
+	eng.Run(2 * time.Hour)
+	if !w.Done() {
+		t.Fatal("FT did not complete")
+	}
+	got := w.FinishedAt().Seconds()
+	if got < 150 || got > 210 {
+		t.Fatalf("FT(D)@256 tardis took %.1fs, paper reports ≈179s", got)
+	}
+}
+
+func TestCalibrationLU(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration run")
+	}
+	p := MustLookup("LU", "D", 256)
+	prof := noise.Tardis()
+	eng := sim.NewEngine(2)
+	w := mpi.NewWorld(eng, 256, prof.Latency())
+	prof.Apply(w, eng.Rand(), 32, p.EstimatedDuration())
+	w.Launch(p.Body(nil))
+	eng.Run(2 * time.Hour)
+	got := w.FinishedAt().Seconds()
+	if got < 210 || got > 290 {
+		t.Fatalf("LU(D)@256 tardis took %.1fs, paper reports ≈247s", got)
+	}
+}
+
+func TestCalibrationBTTianhe2(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration run")
+	}
+	p := MustLookup("BT", "E", 1024)
+	prof := noise.Tianhe2()
+	prof.SlowdownProb = 0 // keep the calibration check clean
+	eng := sim.NewEngine(3)
+	w := mpi.NewWorld(eng, 1024, prof.Latency())
+	prof.Apply(w, eng.Rand(), 16, p.EstimatedDuration())
+	w.Launch(p.Body(nil))
+	eng.Run(2 * time.Hour)
+	got := w.FinishedAt().Seconds()
+	if got < 420 || got > 560 {
+		t.Fatalf("BT(E)@1024 tianhe2 took %.1fs, paper reports ≈487s", got)
+	}
+}
+
+// The Table 1 mechanism: FT(D)'s transpose must hold every rank IN_MPI
+// for >2.4s on Tardis (which false-alarms a 400ms×5 timeout) but well
+// under 2.4s on Tianhe-2.
+func TestFTTransposeStretch(t *testing.T) {
+	stretch := func(prof noise.Profile) time.Duration {
+		p := MustLookup("FT", "D", 256)
+		p.Iters = 6 // a few cycles suffice
+		eng := sim.NewEngine(4)
+		w := mpi.NewWorld(eng, 256, prof.Latency())
+		prof.SlowdownProb = 0
+		prof.Apply(w, eng.Rand(), 32, p.EstimatedDuration())
+		var inAll []time.Duration // timestamps where every rank is IN_MPI
+		eng.SpawnNow("probe", func(pr *sim.Proc) {
+			for !w.Done() {
+				pr.Sleep(50 * time.Millisecond)
+				all := true
+				for _, r := range w.Ranks() {
+					if !r.InMPI() {
+						all = false
+						break
+					}
+				}
+				if all {
+					inAll = append(inAll, time.Duration(eng.Now()))
+				}
+			}
+		})
+		w.Launch(p.Body(nil))
+		eng.Run(2 * time.Hour)
+		var best, cur time.Duration
+		for i := 1; i < len(inAll); i++ {
+			if inAll[i]-inAll[i-1] <= 60*time.Millisecond {
+				cur += inAll[i] - inAll[i-1]
+			} else {
+				cur = 0
+			}
+			if cur > best {
+				best = cur
+			}
+		}
+		return best
+	}
+	tardis := stretch(noise.Tardis())
+	th2 := stretch(noise.Tianhe2())
+	if tardis < 2500*time.Millisecond {
+		t.Fatalf("tardis all-IN stretch = %v, want > 2.5s", tardis)
+	}
+	if th2 > 2400*time.Millisecond {
+		t.Fatalf("tianhe2 all-IN stretch = %v, want < 2.4s", th2)
+	}
+}
+
+func TestHPLPanelDecay(t *testing.T) {
+	// Panel compute must shrink over panels: measure iteration boundary
+	// times of rank 0 via a custom body wrapper.
+	p := small("HPL")
+	p.Iters = 12
+	p.Compute = 200 * time.Millisecond
+	p.Skew = 0
+	eng := sim.NewEngine(9)
+	w := mpi.NewWorld(eng, 16, mpi.Latency{})
+	w.Launch(p.Body(nil))
+	eng.Run(time.Hour)
+	if !w.Done() {
+		t.Fatal("HPL did not complete")
+	}
+	// Total should be ≈ K·c0/3 plus overheads, clearly less than K·c0.
+	total := w.FinishedAt()
+	if total > time.Duration(p.Iters)*p.Compute {
+		t.Fatalf("HPL total %v exceeds undecayed bound", total)
+	}
+	if total < time.Duration(p.Iters)*p.Compute/6 {
+		t.Fatalf("HPL total %v suspiciously small", total)
+	}
+}
+
+func TestEstimatedDuration(t *testing.T) {
+	p := MustLookup("CG", "D", 256)
+	est := p.EstimatedDuration()
+	if est < 100*time.Second || est > 200*time.Second {
+		t.Fatalf("CG estimate %v out of range", est)
+	}
+}

@@ -1,0 +1,237 @@
+// Package parastack is a Go reproduction of "ParaStack: Efficient Hang
+// Detection for MPI Programs at Large Scale" (SC '17): statistical,
+// timeout-free hang detection for bulk-synchronous parallel programs,
+// together with the full simulation substrate the reproduction runs on.
+//
+// Real ParaStack samples the call stacks of a handful of MPI processes
+// and verifies a hang when the fraction of processes executing outside
+// MPI (Scrout) stays abnormally low for a statistically significant
+// streak. This package reproduces the complete system on a
+// deterministic discrete-event simulation: a virtual-time engine
+// (Engine), a simulated MPI runtime (World, Rank), cluster topology
+// (Cluster), platform noise profiles (Profile), fault injection
+// (Plan, Injector), the NPB/HPL/HPCG workload skeletons
+// (WorkloadParams), the ParaStack monitor itself (Monitor), baseline
+// timeout detectors, a mini batch scheduler (Scheduler, Job), and an
+// experiment harness (Run, Campaign, Aggregate) that regenerates every
+// table and figure of the paper's evaluation.
+//
+// # Quickstart
+//
+//	eng := parastack.NewEngine(42)
+//	w := parastack.NewWorld(eng, 256, parastack.Tardis().Latency())
+//	cluster := parastack.NewCluster(8, 32, 42)
+//	mon := parastack.NewMonitor(w, cluster, parastack.MonitorConfig{})
+//	mon.Start()
+//	w.Launch(myRankBody) // any func(*parastack.Rank)
+//	eng.Run(time.Hour)
+//	if rep := mon.Report(); rep != nil {
+//	    fmt.Println("hang:", rep.Type, "faulty ranks:", rep.FaultyRanks)
+//	}
+//
+// Or drive a calibrated paper workload through the one-call harness:
+//
+//	res := parastack.Run(parastack.RunConfig{
+//	    Params:    parastack.MustLookupWorkload("LU", "D", 256),
+//	    Platform:  parastack.Tardis(),
+//	    Seed:      1,
+//	    FaultKind: parastack.ComputationHang,
+//	    Monitor:   &parastack.MonitorConfig{},
+//	})
+package parastack
+
+import (
+	"math/rand"
+	"time"
+
+	"parastack/internal/core"
+	"parastack/internal/experiment"
+	"parastack/internal/fault"
+	"parastack/internal/mpi"
+	"parastack/internal/noise"
+	"parastack/internal/sched"
+	"parastack/internal/sim"
+	"parastack/internal/stack"
+	"parastack/internal/timeout"
+	"parastack/internal/topology"
+	"parastack/internal/workload"
+)
+
+// Simulation substrate.
+type (
+	// Engine is the deterministic discrete-event simulation engine.
+	Engine = sim.Engine
+	// Proc is a simulated process on an Engine.
+	Proc = sim.Proc
+	// World is a simulated MPI job (MPI_COMM_WORLD).
+	World = mpi.World
+	// Rank is one simulated MPI process; workload bodies receive one.
+	Rank = mpi.Rank
+	// Request is a non-blocking communication handle.
+	Request = mpi.Request
+	// Latency is the interconnect timing model.
+	Latency = mpi.Latency
+	// Cluster is the node/ppn layout with rank↔process-id mapping.
+	Cluster = topology.Cluster
+	// Stack is a simulated call stack.
+	Stack = stack.Stack
+)
+
+// ParaStack itself.
+type (
+	// Monitor is the ParaStack hang detector.
+	Monitor = core.Monitor
+	// MonitorConfig tunes the monitor; the zero value is the paper's
+	// default configuration (C=10, I=400ms, alpha=0.1%).
+	MonitorConfig = core.Config
+	// Report is a verified hang report.
+	Report = core.Report
+	// Sample is one recorded Scrout observation.
+	Sample = core.Sample
+	// HangType classifies a hang as computation- or communication-error.
+	HangType = core.HangType
+	// SoutPoint is one full-population Sout probe observation.
+	SoutPoint = core.SoutPoint
+)
+
+// Hang classifications.
+const (
+	HangComputation   = core.HangComputation
+	HangCommunication = core.HangCommunication
+)
+
+// Fault injection.
+type (
+	// FaultKind selects the injected error type.
+	FaultKind = fault.Kind
+	// FaultPlan pins a fault to a rank and iteration.
+	FaultPlan = fault.Plan
+	// Injector executes a FaultPlan during a run.
+	Injector = fault.Injector
+)
+
+// Fault kinds.
+const (
+	NoFault               = fault.None
+	ComputationHang       = fault.ComputationHang
+	NodeFreeze            = fault.NodeFreeze
+	CommunicationDeadlock = fault.CommunicationDeadlock
+)
+
+// Platforms and workloads.
+type (
+	// Profile is a platform timing model (Tardis, Tianhe2, Stampede).
+	Profile = noise.Profile
+	// WorkloadSpec identifies a benchmark configuration.
+	WorkloadSpec = workload.Spec
+	// WorkloadParams is a calibrated benchmark ready to run.
+	WorkloadParams = workload.Params
+)
+
+// Baselines, scheduler, harness.
+type (
+	// TimeoutConfig tunes the fixed-(I,K) baseline detector.
+	TimeoutConfig = timeout.Config
+	// TimeoutDetector is the fixed-(I,K) baseline.
+	TimeoutDetector = timeout.FixedIK
+	// Watchdog is the IO-Watchdog-style activity baseline.
+	Watchdog = timeout.Watchdog
+	// Scheduler is the mini Slurm/Torque batch system.
+	Scheduler = sched.Scheduler
+	// Job is one batch submission.
+	Job = sched.Job
+	// RunConfig describes one harness run.
+	RunConfig = experiment.RunConfig
+	// RunResult is the outcome of one harness run.
+	RunResult = experiment.RunResult
+	// Metrics aggregates a campaign (ACh, FP rate, delays, ACf, PRf).
+	Metrics = experiment.Metrics
+)
+
+// Job states.
+const (
+	JobPending        = sched.Pending
+	JobRunning        = sched.Running
+	JobCompleted      = sched.Completed
+	JobTimedOut       = sched.TimedOut
+	JobHangTerminated = sched.HangTerminated
+)
+
+// NewEngine returns a deterministic simulation engine seeded with seed.
+func NewEngine(seed int64) *Engine { return sim.NewEngine(seed) }
+
+// NewWorld creates an MPI world of size ranks on eng.
+func NewWorld(eng *Engine, size int, lat Latency) *World { return mpi.NewWorld(eng, size, lat) }
+
+// NewCluster lays out nodes×ppn ranks.
+func NewCluster(nodes, ppn int, seed int64) *Cluster { return topology.New(nodes, ppn, seed) }
+
+// NewMonitor attaches a ParaStack monitor to w; call Start to begin.
+func NewMonitor(w *World, cluster *Cluster, cfg MonitorConfig) *Monitor {
+	return core.New(w, cluster, cfg)
+}
+
+// NewTimeoutDetector attaches the fixed-(I,K) baseline to w.
+func NewTimeoutDetector(w *World, cluster *Cluster, cfg TimeoutConfig) *TimeoutDetector {
+	return timeout.NewFixedIK(w, cluster, cfg)
+}
+
+// NewWatchdog attaches an activity watchdog with the given timeout.
+func NewWatchdog(w *World, timeoutDur time.Duration) *Watchdog {
+	return timeout.NewWatchdog(w, timeoutDur)
+}
+
+// NewScheduler creates a batch scheduler managing totalNodes on eng.
+func NewScheduler(eng *Engine, totalNodes int) *Scheduler { return sched.New(eng, totalNodes) }
+
+// Tardis returns the 16-node cluster platform profile.
+func Tardis() Profile { return noise.Tardis() }
+
+// Tianhe2 returns the Tianhe-2 platform profile.
+func Tianhe2() Profile { return noise.Tianhe2() }
+
+// Stampede returns the Stampede platform profile.
+func Stampede() Profile { return noise.Stampede() }
+
+// PlatformByName returns a named profile ("tardis", "tianhe2",
+// "stampede"); it panics on unknown names.
+func PlatformByName(name string) Profile { return noise.ByName(name) }
+
+// LookupWorkload returns a calibrated benchmark configuration.
+func LookupWorkload(name, class string, procs int) (WorkloadParams, error) {
+	return workload.Lookup(name, class, procs)
+}
+
+// MustLookupWorkload is LookupWorkload that panics on error.
+func MustLookupWorkload(name, class string, procs int) WorkloadParams {
+	return workload.MustLookup(name, class, procs)
+}
+
+// WorkloadNames lists the supported benchmarks.
+func WorkloadNames() []string { return workload.Names() }
+
+// NewRandomFaultPlan draws a fault plan like the paper's injection
+// methodology: uniformly random victim rank and trigger iteration.
+func NewRandomFaultPlan(rng *rand.Rand, kind FaultKind, size, iters, minIter, ppn int) FaultPlan {
+	return fault.NewRandomPlan(rng, kind, size, iters, minIter, ppn)
+}
+
+// NewInjector wraps a plan for one run.
+func NewInjector(p FaultPlan) *Injector { return fault.NewInjector(p) }
+
+// ProbeSout attaches a zero-cost Sout probe to w (Figures 2/3).
+func ProbeSout(w *World, interval, stop time.Duration) *[]SoutPoint {
+	return core.ProbeSout(w, interval, stop)
+}
+
+// Run executes one harness run (workload + platform + fault + detector).
+func Run(rc RunConfig) RunResult { return experiment.Run(rc) }
+
+// Campaign runs n seeds of base in parallel and returns results in seed
+// order.
+func Campaign(base RunConfig, n int, seed0 int64) []RunResult {
+	return experiment.Campaign(base, n, seed0)
+}
+
+// Aggregate computes the paper's campaign metrics.
+func Aggregate(rs []RunResult) Metrics { return experiment.Aggregate(rs) }

@@ -1,0 +1,140 @@
+package parastack_test
+
+import (
+	"testing"
+	"time"
+
+	"parastack"
+)
+
+// TestPublicAPIQuickstart exercises the documented quickstart flow end
+// to end through the facade only.
+func TestPublicAPIQuickstart(t *testing.T) {
+	eng := parastack.NewEngine(42)
+	w := parastack.NewWorld(eng, 32, parastack.Tardis().Latency())
+	cluster := parastack.NewCluster(4, 8, 42)
+	mon := parastack.NewMonitor(w, cluster, parastack.MonitorConfig{C: 6})
+	mon.Start()
+
+	inj := parastack.NewInjector(parastack.FaultPlan{
+		Kind: parastack.ComputationHang, Rank: 13, Iteration: 500,
+	})
+	w.Launch(func(r *parastack.Rank) {
+		for it := 0; it < 3000; it++ {
+			r.Call("solve", func() {
+				r.Compute(40*time.Millisecond +
+					time.Duration(eng.Rand().Int63n(int64(40*time.Millisecond))))
+				inj.Check(r, it)
+			})
+			r.Allreduce(8)
+		}
+	})
+	eng.Run(time.Hour)
+
+	rep := mon.Report()
+	if rep == nil {
+		t.Fatal("no hang report")
+	}
+	if rep.Type != parastack.HangComputation {
+		t.Fatalf("type = %v", rep.Type)
+	}
+	if len(rep.FaultyRanks) != 1 || rep.FaultyRanks[0] != 13 {
+		t.Fatalf("faulty = %v", rep.FaultyRanks)
+	}
+}
+
+func TestPublicAPIHarness(t *testing.T) {
+	p := parastack.MustLookupWorkload("CG", "D", 256)
+	p.Procs = 32
+	p.Iters = 300
+	p.Compute = 150 * time.Millisecond
+	res := parastack.Run(parastack.RunConfig{
+		Params:    p,
+		Platform:  parastack.Tardis(),
+		PPN:       8,
+		Seed:      7,
+		FaultKind: parastack.ComputationHang,
+		Monitor:   &parastack.MonitorConfig{},
+	})
+	if !res.Detected {
+		t.Fatalf("not detected: %+v", res)
+	}
+	m := parastack.Aggregate([]parastack.RunResult{res})
+	if m.Accuracy != 1 {
+		t.Fatalf("metrics %+v", m)
+	}
+}
+
+func TestPublicAPIScheduler(t *testing.T) {
+	eng := parastack.NewEngine(3)
+	s := parastack.NewScheduler(eng, 4)
+	j := &parastack.Job{
+		Name: "demo", Nodes: 2, PPN: 4, Walltime: time.Minute,
+		Body: func(r *parastack.Rank) {
+			for i := 0; i < 20; i++ {
+				r.Compute(10 * time.Millisecond)
+				r.Barrier()
+			}
+		},
+	}
+	s.Submit(j)
+	eng.Run(time.Hour)
+	if j.State != parastack.JobCompleted {
+		t.Fatalf("job state %v", j.State)
+	}
+}
+
+func TestWorkloadNamesStable(t *testing.T) {
+	names := parastack.WorkloadNames()
+	if len(names) != 8 {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestPublicAPIDiagnosis(t *testing.T) {
+	eng := parastack.NewEngine(9)
+	w := parastack.NewWorld(eng, 16, parastack.Latency{})
+	inj := parastack.NewInjector(parastack.FaultPlan{
+		Kind: parastack.ComputationHang, Rank: 6, Iteration: 4,
+	})
+	w.Launch(func(r *parastack.Rank) {
+		for it := 0; it < 40; it++ {
+			r.Call("step", func() {
+				r.Compute(5 * time.Millisecond)
+				inj.Check(r, it)
+			})
+			r.Allreduce(8)
+		}
+	})
+	eng.Run(time.Minute)
+
+	groups := parastack.GroupByStack(w)
+	if len(groups) < 2 {
+		t.Fatalf("groups = %d", len(groups))
+	}
+	pg := parastack.BuildProgressGraph(w)
+	if len(pg.LeastProgressed) != 1 || pg.LeastProgressed[0] != 6 {
+		t.Fatalf("least progressed = %v", pg.LeastProgressed)
+	}
+	if parastack.DiagnoseReport(w) == "" {
+		t.Fatal("empty diagnosis")
+	}
+	if w.Rank(0).BlockInfo().Kind != parastack.BlockedCollective {
+		t.Fatalf("rank 0 block = %v", w.Rank(0).BlockInfo().Kind)
+	}
+}
+
+func TestPublicAPISubCommunicators(t *testing.T) {
+	eng := parastack.NewEngine(10)
+	w := parastack.NewWorld(eng, 8, parastack.Latency{})
+	rows := w.Split(func(r int) int { return r / 4 }, func(r int) int { return r % 4 })
+	done := 0
+	w.Launch(func(r *parastack.Rank) {
+		rows[r.ID()].Allreduce(r, 64)
+		done++
+	})
+	eng.Run(time.Minute)
+	if done != 8 {
+		t.Fatalf("completed %d/8", done)
+	}
+}
