@@ -1,0 +1,32 @@
+# Developer workflow for the ParaStack reproduction. Pure stdlib Go;
+# no tools beyond the toolchain are required.
+
+GO ?= go
+
+.PHONY: all build test vet race fmt-check bench ci
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The race detector matters here: campaigns run engines in parallel and
+# share trace sinks / counter totals across workers.
+race:
+	$(GO) test -race ./...
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$
+
+# The gate PRs must pass.
+ci: fmt-check vet build race

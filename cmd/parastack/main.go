@@ -8,12 +8,19 @@
 //	parastack -bench LU -class D -procs 256 -platform tardis -fault computation
 //	parastack -bench FT -class E -procs 1024 -platform tianhe2 -fault none
 //	parastack -bench HPL -class 8e4 -procs 256 -fault deadlock -seed 7
+//	parastack -bench LU -class D -trace run.jsonl -metrics
+//
+// -trace writes a JSONL event stream (samples, interval doublings, set
+// rotations, slowdown filtering, verification, process lifecycle) and
+// -metrics prints the run's observability counters; see the
+// "Observability" section of README.md for the schema.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"time"
 
 	"parastack"
@@ -28,6 +35,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	alpha := flag.Float64("alpha", 0.001, "hang-test significance level (the one user-tunable)")
 	initialI := flag.Duration("interval", 400*time.Millisecond, "initial sampling interval I0")
+	traceFile := flag.String("trace", "", "write a JSONL event trace to this file")
+	metrics := flag.Bool("metrics", false, "print observability counters after the run")
 	flag.Parse()
 
 	params, err := parastack.LookupWorkload(*bench, *class, *procs)
@@ -51,22 +60,45 @@ func main() {
 		os.Exit(2)
 	}
 
+	var trace *parastack.JSONLSink
+	if *traceFile != "" {
+		trace, err = parastack.OpenJSONLTrace(*traceFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "parastack:", err)
+			os.Exit(2)
+		}
+	}
+
 	fmt.Printf("running %s on %s with %d ranks (fault: %s, seed %d)\n",
 		params.Spec, *platform, *procs, *faultKind, *seed)
 	start := time.Now()
-	res := parastack.Run(parastack.RunConfig{
+	rc := parastack.RunConfig{
 		Params:    params,
 		Platform:  parastack.PlatformByName(*platform),
 		Seed:      *seed,
 		FaultKind: kind,
 		Monitor:   &parastack.MonitorConfig{Alpha: *alpha, InitialInterval: *initialI},
-	})
+	}
+	if trace != nil {
+		rc.Trace = trace
+	}
+	res := parastack.Run(rc)
+	if trace != nil {
+		if err := trace.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "parastack: trace:", err)
+		} else {
+			fmt.Printf("trace written to %s\n", *traceFile)
+		}
+	}
 
 	fmt.Printf("simulated %v of virtual time in %v (%.1fM events)\n",
 		maxDur(res.FinishedAt, res.InjectedAt+res.Delay).Round(time.Millisecond),
 		time.Since(start).Round(time.Millisecond), float64(res.Events)/1e6)
 	if res.Injected {
 		fmt.Printf("fault injected at %v into ranks %v\n", res.InjectedAt.Round(time.Millisecond), res.PlannedFail)
+	}
+	if *metrics {
+		printMetrics(res.Metrics)
 	}
 	switch {
 	case res.Completed:
@@ -93,4 +125,25 @@ func maxDur(a, b time.Duration) time.Duration {
 		return a
 	}
 	return b
+}
+
+// printMetrics renders a run's counter/gauge snapshot, sorted by name.
+func printMetrics(m parastack.MetricSnapshot) {
+	fmt.Println("metrics:")
+	names := make([]string, 0, len(m.Counters))
+	for n := range m.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Printf("  %-28s %d\n", n, m.Counters[n])
+	}
+	names = names[:0]
+	for n := range m.Gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Printf("  %-28s %g\n", n, m.Gauges[n])
+	}
 }

@@ -17,6 +17,11 @@
 // -runs N scales every campaign (default: small shape-preserving
 // counts; the paper's full counts are noted in each header and take
 // hours of CPU). -maxscale caps the scale study (default 4096).
+//
+// -trace FILE writes every campaign run's structured events as JSONL
+// (runs are tagged with their seed via the "run" key); -metrics prints
+// counter totals aggregated across all runs at the end. See the
+// "Observability" section of README.md for the schema.
 package main
 
 import (
@@ -25,6 +30,7 @@ import (
 	"os"
 	"time"
 
+	"parastack/internal/obs"
 	"parastack/internal/paper"
 )
 
@@ -36,9 +42,23 @@ func main() {
 	runs := flag.Int("runs", 0, "runs per configuration (0 = small default)")
 	seed := flag.Int64("seed", 1, "base random seed")
 	maxScale := flag.Int("maxscale", 4096, "largest rank count for -scale")
+	traceFile := flag.String("trace", "", "write a JSONL event trace of every run to this file")
+	metrics := flag.Bool("metrics", false, "print counter totals over all runs at the end")
 	flag.Parse()
 
 	opt := paper.Options{Runs: *runs, Seed: *seed, MaxScale: *maxScale}
+	if *traceFile != "" {
+		sink, err := obs.OpenJSONL(*traceFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "psbench:", err)
+			os.Exit(2)
+		}
+		defer sink.Close()
+		opt.Trace = sink
+	}
+	if *metrics {
+		opt.Stats = obs.NewTotals()
+	}
 	w := os.Stdout
 	start := time.Now()
 
@@ -106,6 +126,12 @@ func main() {
 	if *scale || *all {
 		paper.ScaleStudy(w, opt)
 		fmt.Fprintln(w)
+	}
+	if opt.Stats != nil {
+		fmt.Fprintf(w, "counter totals over %d runs:\n", opt.Stats.Runs())
+		for _, name := range opt.Stats.Names() {
+			fmt.Fprintf(w, "  %-28s %d\n", name, opt.Stats.Counter(name))
+		}
 	}
 	fmt.Fprintf(w, "(wall time %v)\n", time.Since(start).Round(time.Millisecond))
 }

@@ -198,7 +198,7 @@ func TestTransientSlowdownFiltered(t *testing.T) {
 	if m.Report() != nil {
 		t.Fatalf("transient slowdown misreported as hang: %+v", m.Report())
 	}
-	if m.SlowdownsSeen == 0 {
+	if m.SlowdownsSeen() == 0 {
 		t.Fatal("filter never engaged; slowdown window too mild for the test to be meaningful")
 	}
 }
@@ -235,7 +235,7 @@ func TestIntervalAdaptationFromTinyI(t *testing.T) {
 	app := testApp{iters: 3000, baseCompute: 40 * time.Millisecond, skew: 10 * time.Millisecond, collBytes: 120 << 20, inj: inj}
 	eng, _, m := launch(7, 8, 4, app, Config{C: 4, InitialInterval: 10 * time.Millisecond})
 	eng.Run(time.Hour)
-	if m.Doublings == 0 {
+	if m.Doublings() == 0 {
 		t.Fatal("runs test never doubled I despite correlated sampling")
 	}
 	if m.Interval() <= 10*time.Millisecond {

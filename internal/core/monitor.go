@@ -17,10 +17,38 @@ import (
 
 	"parastack/internal/model"
 	"parastack/internal/mpi"
+	"parastack/internal/obs"
 	"parastack/internal/sim"
 	"parastack/internal/stack"
 	"parastack/internal/stats"
 	"parastack/internal/topology"
+)
+
+// Counter, gauge, and event names the monitor reports through its
+// recorder (see Config.Recorder). Counters are maintained even without
+// a trace sink; events require one.
+const (
+	CtrSamples       = "monitor.samples"            // Scrout observations
+	CtrSuspicions    = "monitor.suspicions"         // suspicion observations
+	CtrDoublings     = "monitor.doublings"          // interval doublings
+	CtrRotations     = "monitor.rotations"          // monitor-set rotations
+	CtrSlowdowns     = "monitor.slowdowns_filtered" // transient slowdowns filtered
+	CtrVerifications = "monitor.verifications"      // verified hangs
+	CtrTraces        = "monitor.traces"             // stack traces taken
+	CtrPhaseSwitches = "monitor.phase_switches"     // NotifyPhase transitions
+
+	GaugeInterval  = "monitor.interval_ms" // current sampling interval I
+	GaugeQ         = "monitor.q"           // latest fit's q
+	GaugeThreshold = "monitor.threshold"   // latest fit's suspicion threshold
+
+	EvSample     = "sample"       // fields: scrout, suspicion, set, n
+	EvSuspicion  = "suspicion"    // fields: streak, k, q, threshold
+	EvDoubling   = "doubling"     // fields: interval_us
+	EvRotation   = "rotation"     // fields: from, to
+	EvModelReady = "model_ready"  // fields: n, threshold, q
+	EvSlowdown   = "slowdown"     // fields: streak
+	EvVerify     = "verification" // fields: type, suspicions, q, threshold, faulty
+	EvPhase      = "phase"        // fields: phase
 )
 
 // HangType classifies a verified hang by the phase the error lives in.
@@ -115,9 +143,15 @@ type Config struct {
 	// engine) after a verified hang.
 	OnHang func(*Report)
 
-	// KeepHistory retains every Scrout sample in Monitor.History
-	// (default off to bound memory in long campaigns).
+	// KeepHistory retains Scrout samples in Monitor.History, bounded by
+	// MaxHistory with oldest samples evicted first (default off to
+	// bound memory in long campaigns).
 	KeepHistory bool
+
+	// Recorder receives the monitor's counters, gauges, and structured
+	// events (nil selects a private metrics-only recorder, so counters
+	// like Doublings always work; obs.Disabled drops everything).
+	Recorder obs.Recorder
 }
 
 func (c Config) withDefaults() Config {
@@ -181,11 +215,11 @@ type Monitor struct {
 	curPhase int
 	models   map[int]*model.Model
 
-	// Stats observable by experiments.
-	Doublings     int           // times I was doubled
-	SlowdownsSeen int           // transient slowdowns filtered
+	// Stats observable by experiments (counter-style stats live on the
+	// recorder; see Doublings and SlowdownsSeen).
 	ModelReadyAt  time.Duration // first time the model could fit (0 if never)
 	modelWasReady bool
+	rec           obs.Recorder
 	proc          *sim.Proc
 	stopped       bool
 }
@@ -194,13 +228,19 @@ type Monitor struct {
 // start sampling until Start is called.
 func New(w *mpi.World, cluster *topology.Cluster, cfg Config) *Monitor {
 	cfg = cfg.withDefaults()
+	rec := cfg.Recorder
+	if rec == nil {
+		rec = obs.New(nil) // metrics only: counters work, events are off
+	}
 	m := &Monitor{
 		cfg:     cfg,
 		w:       w,
 		cluster: cluster,
 		model:   model.New(cfg.MaxHistory),
 		I:       cfg.InitialInterval,
+		rec:     rec,
 	}
+	rec.Gauge(GaugeInterval, float64(m.I.Milliseconds()))
 	rng := w.Engine().Rand()
 	if cfg.DisableSetSwitch {
 		one := cluster.PickMonitorSet(rng, cfg.C, nil)
@@ -236,6 +276,17 @@ func (m *Monitor) ActiveRanks() []int { return m.sets[m.activeSet].Ranks }
 
 // TotalSamples reports how many Scrout samples the monitor has taken.
 func (m *Monitor) TotalSamples() int { return m.totalSamples }
+
+// Recorder returns the monitor's observability recorder.
+func (m *Monitor) Recorder() obs.Recorder { return m.rec }
+
+// Doublings reports how many times the sampling interval I was doubled
+// (recorder-backed; formerly a struct field).
+func (m *Monitor) Doublings() int { return int(m.rec.Counter(CtrDoublings)) }
+
+// SlowdownsSeen reports how many transient slowdowns the filter caught
+// (recorder-backed; formerly a struct field).
+func (m *Monitor) SlowdownsSeen() int { return int(m.rec.Counter(CtrSlowdowns)) }
 
 // Stop makes the monitor exit at its next wakeup (used when detaching).
 func (m *Monitor) Stop() { m.stopped = true }
@@ -273,7 +324,12 @@ func (m *Monitor) run(p *sim.Proc) {
 				m.randomOK = true
 			} else {
 				m.I *= 2
-				m.Doublings++
+				m.rec.Count(CtrDoublings, 1)
+				m.rec.Gauge(GaugeInterval, float64(m.I.Milliseconds()))
+				if m.rec.Enabled() {
+					m.rec.Event(time.Duration(eng.Now()), EvDoubling,
+						obs.Dur("interval_us", m.I))
+				}
 				m.halveModels()
 			}
 		}
@@ -284,9 +340,17 @@ func (m *Monitor) run(p *sim.Proc) {
 			m.rotateSet()
 			continue
 		}
+		m.rec.Gauge(GaugeQ, fit.Q)
+		m.rec.Gauge(GaugeThreshold, fit.Threshold)
 		if !m.modelWasReady {
 			m.modelWasReady = true
 			m.ModelReadyAt = time.Duration(eng.Now())
+			if m.rec.Enabled() {
+				m.rec.Event(m.ModelReadyAt, EvModelReady,
+					obs.Int("n", int64(md.N())),
+					obs.F64("threshold", fit.Threshold),
+					obs.F64("q", fit.Q))
+			}
 		}
 
 		suspicion := scrout <= fit.Threshold
@@ -297,7 +361,15 @@ func (m *Monitor) run(p *sim.Proc) {
 			continue
 		}
 		m.suspicions++
+		m.rec.Count(CtrSuspicions, 1)
 		k := stats.GeometricThreshold(fit.Q, m.cfg.Alpha)
+		if m.rec.Enabled() {
+			m.rec.Event(time.Duration(eng.Now()), EvSuspicion,
+				obs.Int("streak", int64(m.suspicions)),
+				obs.Int("k", int64(k)),
+				obs.F64("q", fit.Q),
+				obs.F64("threshold", fit.Threshold))
+		}
 		if m.suspicions < k {
 			m.rotateSet()
 			continue
@@ -305,7 +377,11 @@ func (m *Monitor) run(p *sim.Proc) {
 
 		// Candidate hang: apply the transient-slowdown filter.
 		if !m.cfg.DisableSlowdownFilter && m.slowdownCheck(p) {
-			m.SlowdownsSeen++
+			m.rec.Count(CtrSlowdowns, 1)
+			if m.rec.Enabled() {
+				m.rec.Event(time.Duration(eng.Now()), EvSlowdown,
+					obs.Int("streak", int64(m.suspicions)))
+			}
 			m.suspicions = 0
 			m.rotateSet()
 			continue
@@ -314,7 +390,9 @@ func (m *Monitor) run(p *sim.Proc) {
 			return
 		}
 
-		// Verified hang: classify and identify faulty ranks.
+		// Verified hang: classify and identify faulty ranks. DetectedAt
+		// is the instant of verification; the faulty-rank scans that
+		// follow take additional virtual time and must not shift it.
 		rep := &Report{
 			DetectedAt: time.Duration(eng.Now()),
 			Suspicions: m.suspicions,
@@ -327,8 +405,16 @@ func (m *Monitor) run(p *sim.Proc) {
 		} else {
 			rep.Type = HangCommunication
 		}
-		rep.DetectedAt = time.Duration(eng.Now())
 		m.report = rep
+		m.rec.Count(CtrVerifications, 1)
+		if m.rec.Enabled() {
+			m.rec.Event(rep.DetectedAt, EvVerify,
+				obs.Str("type", rep.Type.String()),
+				obs.Int("suspicions", int64(rep.Suspicions)),
+				obs.F64("q", rep.Q),
+				obs.F64("threshold", rep.Threshold),
+				obs.Int("faulty", int64(len(rep.FaultyRanks))))
+		}
 		if m.cfg.OnHang != nil {
 			m.cfg.OnHang(rep)
 		} else {
@@ -338,9 +424,23 @@ func (m *Monitor) run(p *sim.Proc) {
 	}
 }
 
-// record appends to history when enabled.
+// record counts and emits the sample, and appends to history when
+// enabled. History is bounded by Config.MaxHistory (oldest evicted
+// first), so long campaigns with KeepHistory cannot grow without limit.
 func (m *Monitor) record(scrout float64, susp bool) {
+	m.rec.Count(CtrSamples, 1)
+	if m.rec.Enabled() {
+		m.rec.Event(time.Duration(m.w.Engine().Now()), EvSample,
+			obs.F64("scrout", scrout),
+			obs.Bool("suspicion", susp),
+			obs.Int("set", int64(m.activeSet)),
+			obs.Int("n", int64(m.curModel().N())))
+	}
 	if m.cfg.KeepHistory {
+		if len(m.history) >= m.cfg.MaxHistory {
+			copy(m.history, m.history[1:])
+			m.history = m.history[:len(m.history)-1]
+		}
 		m.history = append(m.history, Sample{
 			T:         time.Duration(m.w.Engine().Now()),
 			Scrout:    scrout,
@@ -359,7 +459,14 @@ func (m *Monitor) rotateSet() {
 	m.sinceSwitch++
 	if m.sinceSwitch >= m.cfg.SwitchEvery {
 		m.sinceSwitch = 0
+		from := m.activeSet
 		m.activeSet = (m.activeSet + 1) % len(m.sets)
+		m.rec.Count(CtrRotations, 1)
+		if m.rec.Enabled() {
+			m.rec.Event(time.Duration(m.w.Engine().Now()), EvRotation,
+				obs.Int("from", int64(from)),
+				obs.Int("to", int64(m.activeSet)))
+		}
 	}
 }
 
@@ -368,6 +475,7 @@ func (m *Monitor) rotateSet() {
 // blocked in MPI overlaps with its idle time and is free, matching the
 // paper's lightweight-design argument).
 func (m *Monitor) trace(rankID int) stack.Trace {
+	m.rec.Count(CtrTraces, 1)
 	r := m.w.Rank(rankID)
 	r.Proc().ChargePenalty(m.cfg.TraceCost)
 	return r.Observe()

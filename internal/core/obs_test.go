@@ -1,0 +1,216 @@
+package core
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"parastack/internal/fault"
+	"parastack/internal/mpi"
+	"parastack/internal/obs"
+	"parastack/internal/sim"
+	"parastack/internal/topology"
+)
+
+// perturbScenario is the transient-slowdown setup of
+// TestTransientSlowdownFiltered: rank 1 computes 25x slower during a
+// 20-second window, which floods the model with suspicions while the
+// application is demonstrably alive.
+func perturbScenario(cfg Config) *sim.Engine {
+	eng := sim.NewEngine(6)
+	w := mpi.NewWorld(eng, 8, mpi.Latency{})
+	slowFrom, slowTo := 60*time.Second, 80*time.Second
+	w.Perturb = func(r *mpi.Rank, d time.Duration) time.Duration {
+		now := time.Duration(r.Now())
+		if r.ID() == 1 && now >= slowFrom && now < slowTo {
+			return 25 * d
+		}
+		return d
+	}
+	m := New(w, topology.New(2, 4, 6), cfg)
+	app := testApp{iters: 3000, baseCompute: 10 * time.Millisecond, skew: 40 * time.Millisecond, collBytes: 1 << 14}
+	w.Launch(app.body)
+	m.Start()
+	return eng
+}
+
+// Each ablation switch must silence exactly the event stream of the
+// feature it disables: the event trace is the observable difference
+// between the paper's full system and its ablated variants.
+func TestAblationSwitchesChangeEventStream(t *testing.T) {
+	cases := []struct {
+		name string
+		kind string
+		run  func(ablated bool) *obs.MemSink
+	}{
+		{
+			// Interval adaptation: a 10ms I against a ~45ms cycle is
+			// time-correlated, so the runs test must double I — unless
+			// DisableAdaptation pins it.
+			name: "adaptation",
+			kind: EvDoubling,
+			run: func(ablated bool) *obs.MemSink {
+				sink := obs.NewMemSink()
+				cfg := Config{
+					C: 4, InitialInterval: 10 * time.Millisecond,
+					DisableAdaptation: ablated,
+					Recorder:          obs.New(sink),
+				}
+				app := testApp{iters: 3000, baseCompute: 40 * time.Millisecond, skew: 10 * time.Millisecond, collBytes: 120 << 20}
+				eng, _, _ := launch(7, 8, 4, app, cfg)
+				eng.Run(60 * time.Second)
+				return sink
+			},
+		},
+		{
+			// Set rotation: a healthy run rotates every SwitchEvery
+			// observations — unless DisableSetSwitch collapses the monitor
+			// to a single set.
+			name: "setswitch",
+			kind: EvRotation,
+			run: func(ablated bool) *obs.MemSink {
+				sink := obs.NewMemSink()
+				cfg := Config{
+					C: 4, SwitchEvery: 10,
+					DisableSetSwitch: ablated,
+					Recorder:         obs.New(sink),
+				}
+				app := testApp{iters: 600, baseCompute: 10 * time.Millisecond, skew: 60 * time.Millisecond, collBytes: 1 << 14}
+				eng, _, _ := launch(1, 8, 4, app, cfg)
+				eng.Run(10 * time.Minute)
+				return sink
+			},
+		},
+		{
+			// Slowdown filter: the perturb scenario drives the suspicion
+			// streak to the verification threshold; the filter catches it
+			// and emits slowdown events — unless DisableSlowdownFilter
+			// skips the check entirely.
+			name: "slowdownfilter",
+			kind: EvSlowdown,
+			run: func(ablated bool) *obs.MemSink {
+				sink := obs.NewMemSink()
+				cfg := Config{
+					C:                     4,
+					DisableSlowdownFilter: ablated,
+					Recorder:              obs.New(sink),
+				}
+				perturbScenario(cfg).Run(time.Hour)
+				return sink
+			},
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			on := tc.run(false)
+			if n := on.CountKind(tc.kind); n == 0 {
+				t.Errorf("feature enabled: no %q events (kinds: %v)", tc.kind, on.Kinds())
+			}
+			off := tc.run(true)
+			if n := off.CountKind(tc.kind); n != 0 {
+				t.Errorf("feature ablated: %d %q events, want 0", n, tc.kind)
+			}
+		})
+	}
+}
+
+// A faulty run's -trace output is line-by-line parseable JSON and
+// contains the kinds the tooling relies on: sample, doubling, rotation,
+// suspicion, verification. The counters must agree with the stream.
+func TestFaultyRunTraceIsParseableJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	sink := obs.NewJSONLSink(&buf)
+	inj := fault.NewInjector(fault.Plan{Kind: fault.ComputationHang, Rank: 1, Iteration: 700})
+	app := testApp{iters: 3000, baseCompute: 40 * time.Millisecond, skew: 10 * time.Millisecond, collBytes: 120 << 20, inj: inj}
+	eng, _, m := launch(7, 8, 4, app, Config{
+		C: 4, InitialInterval: 10 * time.Millisecond,
+		Recorder: obs.New(sink),
+	})
+	eng.Run(time.Hour)
+	if m.Report() == nil {
+		t.Fatal("hang not detected; trace incomplete")
+	}
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	kinds := map[string]int{}
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var e map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("unparseable trace line: %v\n%s", err, sc.Text())
+		}
+		if _, ok := e["t_us"].(float64); !ok {
+			t.Fatalf("trace line missing t_us: %s", sc.Text())
+		}
+		kind, _ := e["kind"].(string)
+		if kind == "" {
+			t.Fatalf("trace line missing kind: %s", sc.Text())
+		}
+		kinds[kind]++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, want := range []string{EvSample, EvDoubling, EvRotation, EvSuspicion, EvVerify} {
+		if kinds[want] == 0 {
+			t.Errorf("trace has no %q events (kinds: %v)", want, kinds)
+		}
+	}
+
+	// Counters and event stream describe the same run.
+	rec := m.Recorder()
+	if got := int(rec.Counter(CtrSamples)); got != kinds[EvSample] {
+		t.Errorf("%s = %d, but %d sample events", CtrSamples, got, kinds[EvSample])
+	}
+	if got := m.Doublings(); got != kinds[EvDoubling] {
+		t.Errorf("Doublings() = %d, but %d doubling events", got, kinds[EvDoubling])
+	}
+	if got := int(rec.Counter(CtrRotations)); got != kinds[EvRotation] {
+		t.Errorf("%s = %d, but %d rotation events", CtrRotations, got, kinds[EvRotation])
+	}
+	if got := int(rec.Counter(CtrVerifications)); got != 1 || kinds[EvVerify] != 1 {
+		t.Errorf("%s = %d, %d verification events; want 1 and 1", CtrVerifications, got, kinds[EvVerify])
+	}
+	if got := int(rec.Counter(CtrSamples)); got != m.TotalSamples() {
+		t.Errorf("%s = %d, TotalSamples = %d", CtrSamples, got, m.TotalSamples())
+	}
+}
+
+// KeepHistory retains at most MaxHistory samples, evicting oldest first.
+func TestHistoryBoundedByMaxHistory(t *testing.T) {
+	const cap = 16
+	app := testApp{iters: 400, baseCompute: 10 * time.Millisecond, skew: 40 * time.Millisecond, collBytes: 1 << 12}
+	eng, _, m := launch(10, 8, 4, app, Config{C: 4, KeepHistory: true, MaxHistory: cap})
+	eng.Run(time.Hour)
+	if m.TotalSamples() <= cap {
+		t.Fatalf("only %d samples; scenario too short to exercise the bound", m.TotalSamples())
+	}
+	h := m.History()
+	if len(h) != cap {
+		t.Fatalf("history length = %d, want %d", len(h), cap)
+	}
+	for i := 1; i < len(h); i++ {
+		if h[i].T <= h[i-1].T {
+			t.Fatal("history timestamps not increasing after eviction")
+		}
+	}
+}
+
+// Without a trace sink the monitor's sample hot path must not allocate:
+// counters are map ops on constant keys, and the event branch is guarded.
+func TestRecordZeroAllocWithoutSink(t *testing.T) {
+	eng := sim.NewEngine(1)
+	w := mpi.NewWorld(eng, 8, mpi.Latency{})
+	m := New(w, topology.New(2, 4, 1), Config{C: 4})
+	m.record(0.5, false) // warm the counter map
+	if a := testing.AllocsPerRun(200, func() { m.record(0.5, false) }); a != 0 {
+		t.Errorf("record: %.1f allocs/op with events disabled, want 0", a)
+	}
+	_ = eng
+}

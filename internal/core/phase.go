@@ -1,6 +1,11 @@
 package core
 
-import "parastack/internal/model"
+import (
+	"time"
+
+	"parastack/internal/model"
+	"parastack/internal/obs"
+)
 
 // Phase support implements the paper's §6 "applications with multiple
 // phases": an instrumented application calls NotifyPhase when it moves
@@ -23,6 +28,10 @@ func (m *Monitor) NotifyPhase(id int) {
 	}
 	m.curPhase = id
 	m.suspicions = 0
+	m.rec.Count(CtrPhaseSwitches, 1)
+	if m.rec.Enabled() {
+		m.rec.Event(time.Duration(m.w.Engine().Now()), EvPhase, obs.Int("phase", int64(id)))
+	}
 	if m.models == nil {
 		m.models = map[int]*model.Model{0: m.model}
 	}

@@ -16,6 +16,7 @@ import (
 	"parastack/internal/fault"
 	"parastack/internal/mpi"
 	"parastack/internal/noise"
+	"parastack/internal/obs"
 	"parastack/internal/sim"
 	"parastack/internal/stats"
 	"parastack/internal/timeout"
@@ -66,6 +67,18 @@ type RunConfig struct {
 	KeepHistory bool
 	// WallLimit bounds the virtual run time (0 = 3× estimated + 10 min).
 	WallLimit time.Duration
+
+	// Trace, when non-nil, receives the run's structured events (engine
+	// and monitor). The sink must be concurrency-safe: a campaign's
+	// parallel runs share it, each tagging events with its seed.
+	// Recording is pure observation and never perturbs virtual time.
+	Trace obs.Sink
+	// TraceProcs additionally emits per-sleep proc_sleep events (very
+	// high volume; off by default even when Trace is set).
+	TraceProcs bool
+	// Stats, when non-nil, accumulates every run's metric snapshot —
+	// the campaign-wide counter totals.
+	Stats *obs.Totals
 }
 
 // RunResult is everything a campaign needs from one run.
@@ -109,6 +122,10 @@ type RunResult struct {
 	Sout    []core.SoutPoint
 
 	Events uint64
+
+	// Metrics is the run's observability snapshot: engine and monitor
+	// counters/gauges (see core.Ctr*/sim.Ctr* for names).
+	Metrics obs.Snapshot
 }
 
 // Run executes one simulation.
@@ -124,6 +141,10 @@ func Run(rc RunConfig) RunResult {
 	}
 
 	eng := sim.NewEngine(rc.Seed)
+	rec := obs.New(rc.Trace)
+	rec.SetRun(rc.Seed)
+	eng.SetRecorder(rec)
+	eng.TraceProcs(rc.TraceProcs)
 	w := mpi.NewWorld(eng, procs, rc.Platform.Latency())
 	speed := rc.Platform.Speed
 	if speed <= 0 {
@@ -152,6 +173,9 @@ func Run(rc RunConfig) RunResult {
 	if rc.Monitor != nil {
 		cfg := *rc.Monitor
 		cfg.KeepHistory = cfg.KeepHistory || rc.KeepHistory
+		if cfg.Recorder == nil {
+			cfg.Recorder = rec
+		}
 		mon = core.New(w, cluster, cfg)
 		mon.Start()
 	}
@@ -183,9 +207,9 @@ func Run(rc RunConfig) RunResult {
 	res.Injected, res.InjectedAt = inj.Triggered()
 	if mon != nil {
 		res.Report = mon.Report()
-		res.Doublings = mon.Doublings
+		res.Doublings = mon.Doublings()
 		res.FinalInterval = mon.Interval()
-		res.SlowdownsSeen = mon.SlowdownsSeen
+		res.SlowdownsSeen = mon.SlowdownsSeen()
 		res.History = mon.History()
 	}
 	if tod != nil {
@@ -199,8 +223,13 @@ func Run(rc RunConfig) RunResult {
 	}
 	res.Events = eng.EventsFired()
 	// Release all parked goroutines (hung runs would otherwise leak
-	// their rank processes for the lifetime of the campaign).
-	defer eng.Shutdown()
+	// their rank processes for the lifetime of the campaign). Done
+	// before the metric snapshot so terminations are counted in it.
+	eng.Shutdown()
+	res.Metrics = rec.Snapshot()
+	if rc.Stats != nil {
+		rc.Stats.Add(res.Metrics)
+	}
 
 	// Detector verdicts: a report counts as detection only if the fault
 	// had fired; otherwise it is a false positive.

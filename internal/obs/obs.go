@@ -1,0 +1,209 @@
+// Package obs is the observability layer shared by the simulation
+// engine, the ParaStack monitor, and the experiment harness: named
+// counters and gauges for cheap always-on metrics, plus structured
+// events for opt-in tracing.
+//
+// The design goal is zero allocation on hot paths when event recording
+// is disabled. Counters and gauges are plain map operations on constant
+// keys (no allocation); structured events carry variadic Fields, so
+// instrumented code must guard event construction with Enabled():
+//
+//	rec.Count(core.CtrSamples, 1)           // always cheap
+//	if rec.Enabled() {
+//	    rec.Event(now, "sample", obs.F64("scrout", v))
+//	}
+//
+// Two implementations exist: Disabled (drops everything, the zero-cost
+// default) and Basic (counts always, forwards events to a Sink when one
+// is attached). Sinks are in sink.go: MemSink for tests, JSONLSink for
+// trace files, Totals for cross-run aggregation.
+package obs
+
+import "time"
+
+// fieldKind discriminates the value stored in a Field.
+type fieldKind uint8
+
+const (
+	fieldInt fieldKind = iota
+	fieldF64
+	fieldStr
+	fieldBool
+)
+
+// Field is one key/value pair of a structured event. Construct Fields
+// with Str, Int, F64, Bool, or Dur; the zero value marshals as 0.
+type Field struct {
+	Key  string
+	kind fieldKind
+	num  int64
+	f    float64
+	str  string
+}
+
+// Str returns a string-valued field.
+func Str(key, v string) Field { return Field{Key: key, kind: fieldStr, str: v} }
+
+// Int returns an integer-valued field.
+func Int(key string, v int64) Field { return Field{Key: key, kind: fieldInt, num: v} }
+
+// F64 returns a float-valued field.
+func F64(key string, v float64) Field { return Field{Key: key, kind: fieldF64, f: v} }
+
+// Bool returns a boolean-valued field.
+func Bool(key string, v bool) Field {
+	var n int64
+	if v {
+		n = 1
+	}
+	return Field{Key: key, kind: fieldBool, num: n}
+}
+
+// Dur returns a duration field encoded as integer microseconds; by
+// convention its key ends in "_us".
+func Dur(key string, d time.Duration) Field { return Int(key, d.Microseconds()) }
+
+// IntValue returns the field's integer value (booleans are 0/1).
+func (f Field) IntValue() int64 { return f.num }
+
+// F64Value returns the field's float value, converting integers.
+func (f Field) F64Value() float64 {
+	if f.kind == fieldF64 {
+		return f.f
+	}
+	return float64(f.num)
+}
+
+// StrValue returns the field's string value ("" for non-strings).
+func (f Field) StrValue() string { return f.str }
+
+// Event is one structured trace record on the virtual clock.
+type Event struct {
+	// T is the virtual time the event was recorded at.
+	T time.Duration
+	// Kind names the event type ("sample", "doubling", "proc_spawn", …).
+	Kind string
+	// Run tags the originating run when the recorder was given a run id
+	// (RunValid reports whether it is meaningful); campaigns share one
+	// sink across many concurrent runs.
+	Run      int64
+	RunValid bool
+	// Fields are the event's key/value payload.
+	Fields []Field
+}
+
+// Field returns the named field and whether it exists.
+func (e Event) Field(key string) (Field, bool) {
+	for _, f := range e.Fields {
+		if f.Key == key {
+			return f, true
+		}
+	}
+	return Field{}, false
+}
+
+// Snapshot is a point-in-time copy of a recorder's metrics.
+type Snapshot struct {
+	Counters map[string]int64
+	Gauges   map[string]float64
+}
+
+// Counter returns a counter's value (0 when absent).
+func (s Snapshot) Counter(name string) int64 { return s.Counters[name] }
+
+// Gauge returns a gauge's value (0 when absent).
+func (s Snapshot) Gauge(name string) float64 { return s.Gauges[name] }
+
+// Recorder is the instrumentation seam. Count and Gauge are always
+// cheap (no allocation with constant keys); Event allocates its field
+// slice, so callers on hot paths guard it with Enabled.
+type Recorder interface {
+	// Enabled reports whether structured events are being consumed.
+	// Counters and gauges are maintained regardless (except by the
+	// Disabled recorder, which drops everything).
+	Enabled() bool
+	// Count adds delta to the named counter.
+	Count(name string, delta int64)
+	// Gauge sets the named gauge.
+	Gauge(name string, value float64)
+	// Event records one structured event.
+	Event(t time.Duration, kind string, fields ...Field)
+	// Counter reads a counter's current value.
+	Counter(name string) int64
+	// Snapshot copies all counters and gauges.
+	Snapshot() Snapshot
+}
+
+// nop is the recorder that drops everything at zero cost.
+type nop struct{}
+
+func (nop) Enabled() bool                         { return false }
+func (nop) Count(string, int64)                   {}
+func (nop) Gauge(string, float64)                 {}
+func (nop) Event(time.Duration, string, ...Field) {}
+func (nop) Counter(string) int64                  { return 0 }
+func (nop) Snapshot() Snapshot                    { return Snapshot{} }
+
+// Disabled is the zero-cost recorder: every operation is a no-op.
+var Disabled Recorder = nop{}
+
+// Basic is the standard recorder: counters and gauges are always
+// maintained; events are forwarded to the sink when one is attached.
+// A Basic recorder is single-goroutine (one per simulated run); only
+// the Sink behind it needs to be concurrency-safe.
+type Basic struct {
+	sink     Sink
+	run      int64
+	runValid bool
+	counters map[string]int64
+	gauges   map[string]float64
+}
+
+// New returns a recorder forwarding events to sink. A nil sink yields a
+// metrics-only recorder: Enabled reports false, counters still count.
+func New(sink Sink) *Basic {
+	return &Basic{
+		sink:     sink,
+		counters: make(map[string]int64),
+		gauges:   make(map[string]float64),
+	}
+}
+
+// SetRun tags every subsequent event with a run id, so one sink can be
+// shared by a whole campaign and the trace remains demultiplexable.
+func (b *Basic) SetRun(id int64) { b.run, b.runValid = id, true }
+
+// Enabled reports whether a sink is attached.
+func (b *Basic) Enabled() bool { return b.sink != nil }
+
+// Count adds delta to the named counter.
+func (b *Basic) Count(name string, delta int64) { b.counters[name] += delta }
+
+// Gauge sets the named gauge.
+func (b *Basic) Gauge(name string, value float64) { b.gauges[name] = value }
+
+// Counter reads a counter.
+func (b *Basic) Counter(name string) int64 { return b.counters[name] }
+
+// Event forwards one structured event to the sink (dropped if none).
+func (b *Basic) Event(t time.Duration, kind string, fields ...Field) {
+	if b.sink == nil {
+		return
+	}
+	b.sink.Emit(Event{T: t, Kind: kind, Run: b.run, RunValid: b.runValid, Fields: fields})
+}
+
+// Snapshot copies the current counters and gauges.
+func (b *Basic) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters: make(map[string]int64, len(b.counters)),
+		Gauges:   make(map[string]float64, len(b.gauges)),
+	}
+	for k, v := range b.counters {
+		s.Counters[k] = v
+	}
+	for k, v := range b.gauges {
+		s.Gauges[k] = v
+	}
+	return s
+}

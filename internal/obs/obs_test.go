@@ -1,0 +1,233 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFieldConstructors(t *testing.T) {
+	cases := []struct {
+		f   Field
+		i   int64
+		f64 float64
+		s   string
+	}{
+		{Int("n", 42), 42, 42, ""},
+		{F64("x", 0.25), 0, 0.25, ""},
+		{Str("name", "lu"), 0, 0, "lu"},
+		{Bool("on", true), 1, 1, ""},
+		{Bool("off", false), 0, 0, ""},
+		{Dur("d_us", 1500*time.Microsecond), 1500, 1500, ""},
+	}
+	for _, c := range cases {
+		if got := c.f.IntValue(); got != c.i {
+			t.Errorf("%s: IntValue = %d, want %d", c.f.Key, got, c.i)
+		}
+		if got := c.f.F64Value(); got != c.f64 {
+			t.Errorf("%s: F64Value = %g, want %g", c.f.Key, got, c.f64)
+		}
+		if got := c.f.StrValue(); got != c.s {
+			t.Errorf("%s: StrValue = %q, want %q", c.f.Key, got, c.s)
+		}
+	}
+}
+
+func TestDisabledRecorder(t *testing.T) {
+	r := Disabled
+	if r.Enabled() {
+		t.Fatal("Disabled.Enabled() = true")
+	}
+	r.Count("c", 5)
+	r.Gauge("g", 1.5)
+	r.Event(time.Second, "kind", Int("n", 1))
+	if r.Counter("c") != 0 {
+		t.Errorf("Disabled counter counted: %d", r.Counter("c"))
+	}
+	s := r.Snapshot()
+	if len(s.Counters) != 0 || len(s.Gauges) != 0 {
+		t.Errorf("Disabled snapshot non-empty: %+v", s)
+	}
+}
+
+func TestBasicMetricsOnly(t *testing.T) {
+	r := New(nil)
+	if r.Enabled() {
+		t.Fatal("metrics-only recorder reports Enabled")
+	}
+	r.Count("c", 2)
+	r.Count("c", 3)
+	r.Gauge("g", 0.5)
+	r.Event(time.Second, "dropped", Int("n", 1)) // no sink: silently dropped
+	if got := r.Counter("c"); got != 5 {
+		t.Errorf("Counter = %d, want 5", got)
+	}
+	s := r.Snapshot()
+	if s.Counter("c") != 5 || s.Gauge("g") != 0.5 {
+		t.Errorf("snapshot = %+v", s)
+	}
+	// The snapshot is a copy: later mutation must not leak into it.
+	r.Count("c", 100)
+	r.Gauge("g", 9)
+	if s.Counter("c") != 5 || s.Gauge("g") != 0.5 {
+		t.Errorf("snapshot aliased live maps: %+v", s)
+	}
+}
+
+func TestBasicEventsAndMemSink(t *testing.T) {
+	sink := NewMemSink()
+	r := New(sink)
+	if !r.Enabled() {
+		t.Fatal("recorder with sink reports disabled")
+	}
+	r.Event(time.Second, "sample", F64("scrout", 0.4), Int("set", 0))
+	r.Event(2*time.Second, "sample", F64("scrout", 0.1), Int("set", 1))
+	r.Event(3*time.Second, "doubling", Dur("interval_us", 800*time.Millisecond))
+
+	if sink.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", sink.Len())
+	}
+	if n := sink.CountKind("sample"); n != 2 {
+		t.Errorf("CountKind(sample) = %d, want 2", n)
+	}
+	if kinds := sink.Kinds(); kinds["sample"] != 2 || kinds["doubling"] != 1 {
+		t.Errorf("Kinds = %v", kinds)
+	}
+	ev := sink.Kind("sample")[1]
+	if ev.T != 2*time.Second {
+		t.Errorf("event T = %v", ev.T)
+	}
+	if ev.RunValid {
+		t.Error("RunValid true without SetRun")
+	}
+	f, ok := ev.Field("scrout")
+	if !ok || f.F64Value() != 0.1 {
+		t.Errorf("scrout field = %+v ok=%v", f, ok)
+	}
+	if _, ok := ev.Field("missing"); ok {
+		t.Error("lookup of missing field succeeded")
+	}
+
+	sink.Reset()
+	if sink.Len() != 0 {
+		t.Errorf("Len after Reset = %d", sink.Len())
+	}
+}
+
+func TestSetRunTagsEvents(t *testing.T) {
+	sink := NewMemSink()
+	r := New(sink)
+	r.SetRun(7)
+	r.Event(0, "sample")
+	ev := sink.Events()[0]
+	if !ev.RunValid || ev.Run != 7 {
+		t.Errorf("event run = %d valid=%v, want 7 true", ev.Run, ev.RunValid)
+	}
+}
+
+func TestJSONLSinkParseable(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewJSONLSink(&buf)
+	r := New(sink)
+	r.SetRun(3)
+	r.Event(1500*time.Microsecond, "sample",
+		F64("scrout", 0.25), Int("set", 1), Str("bench", "LU \"D\""), Bool("susp", true))
+	r.Event(2*time.Second, "doubling", Dur("interval_us", 800*time.Millisecond))
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines: %q", len(lines), buf.String())
+	}
+	var first map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatalf("line 0 not valid JSON: %v\n%s", err, lines[0])
+	}
+	want := map[string]any{
+		"t_us": 1500.0, "run": 3.0, "kind": "sample",
+		"scrout": 0.25, "set": 1.0, "bench": `LU "D"`, "susp": true,
+	}
+	for k, v := range want {
+		if first[k] != v {
+			t.Errorf("line 0 key %q = %v (%T), want %v", k, first[k], first[k], v)
+		}
+	}
+	var second map[string]any
+	if err := json.Unmarshal([]byte(lines[1]), &second); err != nil {
+		t.Fatalf("line 1 not valid JSON: %v", err)
+	}
+	if second["t_us"] != 2_000_000.0 || second["interval_us"] != 800_000.0 {
+		t.Errorf("line 1 = %v", second)
+	}
+}
+
+func TestJSONLSinkOmitsRunWithoutSetRun(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewJSONLSink(&buf)
+	New(sink).Event(0, "k")
+	sink.Flush()
+	var m map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &m); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m["run"]; ok {
+		t.Errorf(`"run" key present without SetRun: %s`, buf.String())
+	}
+}
+
+func TestTotals(t *testing.T) {
+	tot := NewTotals()
+	a := New(nil)
+	a.Count("monitor.samples", 10)
+	a.Count("engine.spawns", 4)
+	b := New(nil)
+	b.Count("monitor.samples", 7)
+	tot.Add(a.Snapshot())
+	tot.Add(b.Snapshot())
+	if tot.Runs() != 2 {
+		t.Errorf("Runs = %d", tot.Runs())
+	}
+	if got := tot.Counter("monitor.samples"); got != 17 {
+		t.Errorf("samples total = %d, want 17", got)
+	}
+	if got := tot.Counter("engine.spawns"); got != 4 {
+		t.Errorf("spawns total = %d, want 4", got)
+	}
+	names := tot.Names()
+	if len(names) != 2 || names[0] != "engine.spawns" || names[1] != "monitor.samples" {
+		t.Errorf("Names = %v", names)
+	}
+}
+
+// The zero-allocation contract: with events disabled, neither the
+// Disabled recorder nor a metrics-only Basic allocates on the hot path,
+// even for guarded event calls.
+func TestZeroAllocWhenDisabled(t *testing.T) {
+	if a := testing.AllocsPerRun(100, func() {
+		Disabled.Count("monitor.samples", 1)
+		Disabled.Gauge("monitor.q", 0.5)
+		if Disabled.Enabled() {
+			Disabled.Event(0, "sample", F64("scrout", 0.5))
+		}
+	}); a != 0 {
+		t.Errorf("Disabled recorder: %.1f allocs/op, want 0", a)
+	}
+
+	r := New(nil)
+	// Warm the maps so steady-state runs measure no map-growth allocs.
+	r.Count("monitor.samples", 1)
+	r.Gauge("monitor.q", 0.1)
+	if a := testing.AllocsPerRun(100, func() {
+		r.Count("monitor.samples", 1)
+		r.Gauge("monitor.q", 0.5)
+		if r.Enabled() {
+			r.Event(0, "sample", F64("scrout", 0.5))
+		}
+	}); a != 0 {
+		t.Errorf("metrics-only Basic: %.1f allocs/op, want 0", a)
+	}
+}

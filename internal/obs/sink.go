@@ -1,0 +1,222 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// Sink consumes structured events. Implementations must be safe for
+// concurrent Emit calls: a campaign's parallel runs share one sink.
+type Sink interface {
+	Emit(Event)
+}
+
+// MemSink retains every emitted event in memory — the assertion seam
+// for tests.
+type MemSink struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// NewMemSink returns an empty in-memory sink.
+func NewMemSink() *MemSink { return &MemSink{} }
+
+// Emit implements Sink.
+func (s *MemSink) Emit(e Event) {
+	s.mu.Lock()
+	s.events = append(s.events, e)
+	s.mu.Unlock()
+}
+
+// Events returns a copy of all recorded events in emission order.
+func (s *MemSink) Events() []Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Event(nil), s.events...)
+}
+
+// Kind returns the recorded events of one kind, in order.
+func (s *MemSink) Kind(kind string) []Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []Event
+	for _, e := range s.events {
+		if e.Kind == kind {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// CountKind reports how many events of one kind were recorded.
+func (s *MemSink) CountKind(kind string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, e := range s.events {
+		if e.Kind == kind {
+			n++
+		}
+	}
+	return n
+}
+
+// Kinds returns the distinct event kinds recorded and their counts.
+func (s *MemSink) Kinds() map[string]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]int)
+	for _, e := range s.events {
+		out[e.Kind]++
+	}
+	return out
+}
+
+// Len reports the number of recorded events.
+func (s *MemSink) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.events)
+}
+
+// Reset discards all recorded events.
+func (s *MemSink) Reset() {
+	s.mu.Lock()
+	s.events = nil
+	s.mu.Unlock()
+}
+
+// JSONLSink serializes events as one JSON object per line:
+//
+//	{"t_us":1234,"run":7,"kind":"sample","scrout":0.4,"set":0}
+//
+// t_us is virtual time in microseconds; run is present only when the
+// recorder was tagged with SetRun; remaining keys are the event's
+// fields. Writes are buffered; call Close (or Flush) to drain.
+type JSONLSink struct {
+	mu  sync.Mutex
+	w   *bufio.Writer
+	c   io.Closer
+	buf []byte
+}
+
+// NewJSONLSink wraps w. If w is also an io.Closer, Close closes it.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	s := &JSONLSink{w: bufio.NewWriter(w)}
+	if c, ok := w.(io.Closer); ok {
+		s.c = c
+	}
+	return s
+}
+
+// OpenJSONL creates (truncating) a JSONL trace file at path.
+func OpenJSONL(path string) (*JSONLSink, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return NewJSONLSink(f), nil
+}
+
+// Emit implements Sink.
+func (s *JSONLSink) Emit(e Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b := s.buf[:0]
+	b = append(b, `{"t_us":`...)
+	b = strconv.AppendInt(b, e.T.Microseconds(), 10)
+	if e.RunValid {
+		b = append(b, `,"run":`...)
+		b = strconv.AppendInt(b, e.Run, 10)
+	}
+	b = append(b, `,"kind":`...)
+	b = strconv.AppendQuote(b, e.Kind)
+	for _, f := range e.Fields {
+		b = append(b, ',')
+		b = strconv.AppendQuote(b, f.Key)
+		b = append(b, ':')
+		switch f.kind {
+		case fieldStr:
+			b = strconv.AppendQuote(b, f.str)
+		case fieldF64:
+			b = strconv.AppendFloat(b, f.f, 'g', -1, 64)
+		case fieldBool:
+			b = strconv.AppendBool(b, f.num != 0)
+		default:
+			b = strconv.AppendInt(b, f.num, 10)
+		}
+	}
+	b = append(b, '}', '\n')
+	s.buf = b
+	s.w.Write(b) // bufio latches the first error; surfaced by Close
+}
+
+// Flush drains the write buffer.
+func (s *JSONLSink) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Flush()
+}
+
+// Close flushes and closes the underlying writer when it is closable.
+func (s *JSONLSink) Close() error {
+	err := s.Flush()
+	if s.c != nil {
+		if cerr := s.c.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// Totals aggregates metric snapshots across runs — the campaign-level
+// counterpart of a per-run Snapshot. Safe for concurrent use.
+type Totals struct {
+	mu       sync.Mutex
+	runs     int
+	counters map[string]int64
+}
+
+// NewTotals returns an empty aggregator.
+func NewTotals() *Totals { return &Totals{counters: make(map[string]int64)} }
+
+// Add folds one run's snapshot into the totals (counters sum; gauges,
+// being instantaneous, are not aggregated).
+func (t *Totals) Add(s Snapshot) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.runs++
+	for k, v := range s.Counters {
+		t.counters[k] += v
+	}
+}
+
+// Runs reports how many snapshots have been folded in.
+func (t *Totals) Runs() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.runs
+}
+
+// Counter reads an aggregated counter.
+func (t *Totals) Counter(name string) int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.counters[name]
+}
+
+// Names returns the counter names seen so far, sorted.
+func (t *Totals) Names() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	names := make([]string, 0, len(t.counters))
+	for k := range t.counters {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}

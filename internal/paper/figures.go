@@ -26,13 +26,13 @@ func Figure2(w io.Writer, opt Options) map[string][]core.SoutPoint {
 	window := 60 * time.Second
 	for _, b := range []struct{ name, class string }{{"LU", "D"}, {"SP", "D"}, {"FT", "D"}} {
 		params := workload.MustLookup(b.name, b.class, 256)
-		res := experiment.Run(experiment.RunConfig{
+		res := experiment.Run(opt.attach(experiment.RunConfig{
 			Params:    params,
 			Platform:  noise.Tardis(),
 			Seed:      opt.Seed,
 			ProbeSout: 5 * time.Millisecond,
 			WallLimit: window, // only the plotted window is needed
-		})
+		}))
 		out[b.name] = res.Sout
 		for _, pt := range res.Sout {
 			fmt.Fprintf(w, "%s,%.3f,%.4f\n", b.name, pt.T.Seconds(), pt.Sout)
@@ -48,7 +48,7 @@ func Figure3(w io.Writer, opt Options) (pts []core.SoutPoint, faultAt time.Durat
 	opt = opt.withDefaults(1)
 	params := workload.MustLookup("LU", "D", 256)
 	params.Iters = 100 // a ~100s slice of the run is enough for the plot
-	res := experiment.Run(experiment.RunConfig{
+	res := experiment.Run(opt.attach(experiment.RunConfig{
 		Params:    params,
 		Platform:  noise.Tardis(),
 		Seed:      opt.Seed,
@@ -57,7 +57,7 @@ func Figure3(w io.Writer, opt Options) (pts []core.SoutPoint, faultAt time.Durat
 		// No monitor: let the hang persist so the flatline is visible,
 		// and cut the run shortly after the fault.
 		WallLimit: 130 * time.Second,
-	})
+	}))
 	cut := res.InjectedAt + 20*time.Second
 	fmt.Fprintf(w, "# fault injected at %.2fs\n", res.InjectedAt.Seconds())
 	for _, pt := range res.Sout {
@@ -86,13 +86,13 @@ type Figure4Panel struct {
 func Figure4(w io.Writer, opt Options) []Figure4Panel {
 	opt = opt.withDefaults(1)
 	params := workload.MustLookup("LU", "D", 256)
-	res := experiment.Run(experiment.RunConfig{
+	res := experiment.Run(opt.attach(experiment.RunConfig{
 		Params:      params,
 		Platform:    noise.Tardis(),
 		Seed:        opt.Seed,
 		Monitor:     &core.Config{},
 		KeepHistory: true,
-	})
+	}))
 	hist := res.History
 	var panels []Figure4Panel
 	for _, frac := range []float64{0.2, 0.5, 1.0} {

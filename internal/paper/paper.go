@@ -21,6 +21,7 @@ import (
 	"parastack/internal/fault"
 	"parastack/internal/mpi"
 	"parastack/internal/noise"
+	"parastack/internal/obs"
 	"parastack/internal/sim"
 	"parastack/internal/stats"
 	"parastack/internal/timeout"
@@ -38,6 +39,19 @@ type Options struct {
 	// MaxScale caps the largest rank count exercised by the scale
 	// experiments (default 4096; the paper goes to 16384).
 	MaxScale int
+	// Trace, when non-nil, receives every campaign run's structured
+	// events (psbench -trace).
+	Trace obs.Sink
+	// Stats, when non-nil, accumulates counter totals across every run
+	// of every campaign (psbench -metrics).
+	Stats *obs.Totals
+}
+
+// attach threads the observability options into one run configuration.
+func (o Options) attach(rc experiment.RunConfig) experiment.RunConfig {
+	rc.Trace = o.Trace
+	rc.Stats = o.Stats
+	return rc
 }
 
 func (o Options) withDefaults(defRuns int) Options {
@@ -112,13 +126,13 @@ func Table1(w io.Writer, opt Options) []Table1Row {
 		for ci, c := range Table1Configs {
 			prof, ppn := platformWorld(c.Platform, 256)
 			params := workload.MustLookup(c.Bench, c.Class, 256)
-			rs := experiment.Campaign(experiment.RunConfig{
+			rs := experiment.Campaign(opt.attach(experiment.RunConfig{
 				Params:    params,
 				Platform:  prof,
 				PPN:       ppn,
 				FaultKind: fault.ComputationHang,
 				Timeout:   &timeout.Config{C: 10, Interval: ik.I, K: ik.K},
-			}, opt.Runs, opt.Seed+int64(ci*1000))
+			}), opt.Runs, opt.Seed+int64(ci*1000))
 			row.Metrics = append(row.Metrics, experiment.Aggregate(rs))
 		}
 		rows = append(rows, row)
@@ -151,12 +165,12 @@ func Table3(w io.Writer, opt Options) []Table3Result {
 	params.HaloBytes = 4096
 
 	run := func(traceEvery time.Duration) (float64, int) {
-		res := experiment.Run(experiment.RunConfig{
+		res := experiment.Run(opt.attach(experiment.RunConfig{
 			Params:   params,
 			Platform: noise.Tardis(),
 			PPN:      1,
 			Seed:     opt.Seed,
-		})
+		}))
 		if traceEvery == 0 {
 			return res.FinishedAt.Seconds(), 0
 		}
@@ -227,12 +241,12 @@ func perfTable(w io.Writer, title, platform string, scale int, benches []struct{
 		params := workload.MustLookup(b.name, b.class, scale)
 		fmt.Fprintf(w, "%-8s", b.name)
 		for si, s := range settings {
-			rs := experiment.Campaign(experiment.RunConfig{
+			rs := experiment.Campaign(opt.attach(experiment.RunConfig{
 				Params:   params,
 				Platform: prof,
 				PPN:      ppn,
 				Monitor:  s.mon,
-			}, opt.Runs, opt.Seed+int64(bi*100+si*10))
+			}), opt.Runs, opt.Seed+int64(bi*100+si*10))
 			var secs []float64
 			for _, r := range rs {
 				if r.Completed {

@@ -20,6 +20,24 @@ import (
 	"fmt"
 	"math/rand"
 	"time"
+
+	"parastack/internal/obs"
+)
+
+// Counter, gauge, and event names the engine reports through its
+// recorder (see Engine.SetRecorder).
+const (
+	CtrSpawns    = "engine.spawns"     // processes spawned
+	CtrProcExits = "engine.proc_exits" // processes terminated
+	CtrSleeps    = "engine.sleeps"     // Proc.Sleep calls
+	CtrEvents    = "engine.events"     // events fired (synced per Run)
+
+	GaugeQueueDepthMax = "engine.queue_depth_max"
+
+	EvProcSpawn  = "proc_spawn"  // fields: proc, name
+	EvProcSleep  = "proc_sleep"  // fields: proc, dur_us (TraceProcs only)
+	EvProcStop   = "proc_stop"   // fields: proc, name
+	EvQueueDepth = "queue_depth" // fields: depth (on ~2x growth)
 )
 
 // Time is an absolute instant on the virtual clock, measured as an
@@ -90,6 +108,13 @@ type Engine struct {
 
 	// Stats, useful for tests and benchmarks.
 	eventsFired uint64
+
+	// Observability (see SetRecorder). rec is never nil.
+	rec          obs.Recorder
+	traceProcs   bool
+	maxDepth     int
+	depthEvented int
+	eventsSynced uint64 // eventsFired already folded into CtrEvents
 }
 
 // NewEngine returns an engine whose random stream is seeded with seed.
@@ -99,8 +124,34 @@ func NewEngine(seed int64) *Engine {
 	return &Engine{
 		rng:    rand.New(rand.NewSource(seed)),
 		parked: make(chan struct{}),
+		rec:    obs.Disabled,
 	}
 }
+
+// SetRecorder attaches an observability recorder. The engine counts
+// spawns, process exits, sleeps, and fired events, tracks the maximum
+// event-queue depth as a gauge, and — when the recorder consumes
+// events — emits proc_spawn/proc_stop events plus queue_depth events
+// each time the maximum depth roughly doubles. Per-sleep proc_sleep
+// events are additionally gated behind TraceProcs, since they dominate
+// trace volume. A nil recorder detaches (restores obs.Disabled).
+//
+// Recording is pure observation: it never touches the engine's random
+// stream or event ordering, so attaching a recorder cannot perturb
+// virtual-time results.
+func (e *Engine) SetRecorder(r obs.Recorder) {
+	if r == nil {
+		r = obs.Disabled
+	}
+	e.rec = r
+}
+
+// Recorder returns the attached recorder (obs.Disabled by default).
+func (e *Engine) Recorder() obs.Recorder { return e.rec }
+
+// TraceProcs toggles per-sleep proc_sleep trace events (off by
+// default; spawn/stop events only need SetRecorder).
+func (e *Engine) TraceProcs(on bool) { e.traceProcs = on }
 
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
@@ -129,7 +180,29 @@ func (e *Engine) At(t Time, fn func()) *Event {
 	ev := &Event{when: t, seq: e.seq, fn: fn}
 	e.seq++
 	heap.Push(&e.queue, ev)
+	if n := len(e.queue); n > e.maxDepth {
+		e.maxDepth = n
+		// Emit depth milestones on ~2x growth only, so the trace stays
+		// bounded even for million-event simulations.
+		if e.rec.Enabled() && n >= 2*e.depthEvented {
+			e.depthEvented = n
+			e.rec.Event(e.now, EvQueueDepth, obs.Int("depth", int64(n)))
+		}
+	}
 	return ev
+}
+
+// MaxQueueDepth reports the largest event-queue length seen so far.
+func (e *Engine) MaxQueueDepth() int { return e.maxDepth }
+
+// syncObs folds engine-side tallies into the recorder; called when a
+// Run slice finishes so hot loops stay free of per-event recorder work.
+func (e *Engine) syncObs() {
+	if d := e.eventsFired - e.eventsSynced; d > 0 {
+		e.eventsSynced = e.eventsFired
+		e.rec.Count(CtrEvents, int64(d))
+	}
+	e.rec.Gauge(GaugeQueueDepthMax, float64(e.maxDepth))
 }
 
 // After schedules fn to run d from now.
@@ -159,7 +232,10 @@ func (e *Engine) Stopped() bool { return e.stopped }
 func (e *Engine) Run(until Time) Time {
 	e.stopped = false
 	e.running = true
-	defer func() { e.running = false }()
+	defer func() {
+		e.running = false
+		e.syncObs()
+	}()
 	for len(e.queue) > 0 && !e.stopped {
 		next := e.queue[0]
 		if until > 0 && next.when > until {

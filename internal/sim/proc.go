@@ -3,6 +3,8 @@ package sim
 import (
 	"fmt"
 	"time"
+
+	"parastack/internal/obs"
 )
 
 // ProcState describes what a simulated process is currently doing from
@@ -83,6 +85,10 @@ func (e *Engine) Spawn(name string, start Time, body func(*Proc)) *Proc {
 	}
 	e.procs = append(e.procs, p)
 	e.liveProcs++
+	e.rec.Count(CtrSpawns, 1)
+	if e.rec.Enabled() {
+		e.rec.Event(start, EvProcSpawn, obs.Int("proc", int64(p.ID)), obs.Str("name", name))
+	}
 	go func() {
 		defer func() {
 			if r := recover(); r != nil {
@@ -92,6 +98,10 @@ func (e *Engine) Spawn(name string, start Time, body func(*Proc)) *Proc {
 			}
 			p.state = ProcDone
 			e.liveProcs--
+			e.rec.Count(CtrProcExits, 1)
+			if e.rec.Enabled() {
+				e.rec.Event(e.now, EvProcStop, obs.Int("proc", int64(p.ID)), obs.Str("name", p.Name))
+			}
 			e.parked <- struct{}{} // hand control back for good
 		}()
 		<-p.resume // wait for the scheduler to start us
@@ -143,6 +153,10 @@ func (p *Proc) Sleep(d time.Duration) {
 	d += p.penalty
 	p.penalty = 0
 	e := p.eng
+	e.rec.Count(CtrSleeps, 1)
+	if e.traceProcs && e.rec.Enabled() {
+		e.rec.Event(e.now, EvProcSleep, obs.Int("proc", int64(p.ID)), obs.Dur("dur_us", d))
+	}
 	p.wake = e.At(e.now+d, func() { e.dispatch(p) })
 	p.park(ProcSleeping)
 }

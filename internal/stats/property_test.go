@@ -1,0 +1,123 @@
+// Property tests for the significance-test building blocks. They live
+// in an external test package so they can also exercise internal/model
+// (which imports internal/stats) without an import cycle.
+package stats_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"parastack/internal/model"
+	"parastack/internal/stats"
+)
+
+// k = ceil(log_q(alpha)) is monotone: demanding higher confidence
+// (smaller alpha) can never need fewer consecutive suspicions, and a
+// larger suspicion probability q can never need fewer either.
+func TestGeometricThresholdMonotone(t *testing.T) {
+	qs := []float64{0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.77, 0.9, 0.99}
+	alphas := []float64{1e-6, 1e-5, 1e-4, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5}
+
+	// Non-increasing in alpha at fixed q.
+	for _, q := range qs {
+		prev := -1
+		for i := len(alphas) - 1; i >= 0; i-- { // alpha descending
+			k := stats.GeometricThreshold(q, alphas[i])
+			if k < 1 {
+				t.Fatalf("k(q=%g, alpha=%g) = %d < 1", q, alphas[i], k)
+			}
+			if prev >= 0 && k < prev {
+				t.Errorf("k(q=%g) decreased from %d to %d as alpha shrank to %g",
+					q, prev, k, alphas[i])
+			}
+			prev = k
+		}
+	}
+
+	// Non-decreasing in q at fixed alpha.
+	for _, alpha := range alphas {
+		prev := -1
+		for _, q := range qs {
+			k := stats.GeometricThreshold(q, alpha)
+			if prev >= 0 && k < prev {
+				t.Errorf("k(alpha=%g) decreased from %d to %d as q grew to %g",
+					alpha, prev, k, q)
+			}
+			prev = k
+		}
+	}
+}
+
+// The returned k is tight: q^k <= alpha but q^(k-1) > alpha.
+func TestGeometricThresholdTight(t *testing.T) {
+	for _, q := range []float64{0.1, 0.3, 0.5, 0.77, 0.95} {
+		for _, alpha := range []float64{1e-5, 0.001, 0.05} {
+			k := stats.GeometricThreshold(q, alpha)
+			if tail := stats.GeometricTail(q, k); tail > alpha*(1+1e-12) {
+				t.Errorf("q=%g alpha=%g: tail(k=%d) = %g > alpha", q, alpha, k, tail)
+			}
+			if k > 1 {
+				if tail := stats.GeometricTail(q, k-1); tail <= alpha*(1-1e-12) {
+					t.Errorf("q=%g alpha=%g: k=%d not minimal, tail(k-1) = %g <= alpha",
+						q, alpha, k, tail)
+				}
+			}
+		}
+	}
+}
+
+// Whatever the sample set, a fitted suspicion threshold is an observed
+// value: it lies within [min, max] of the samples, the achieved P is a
+// valid probability consistent with the ECDF, and q upper-bounds P
+// without exceeding QMax.
+func TestModelFitThresholdWithinSampleRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 200; trial++ {
+		m := model.New(0)
+		n := 12 + rng.Intn(200)
+		lo, span := rng.Float64()*0.4, 0.1+rng.Float64()*0.5
+		min, max := 2.0, -1.0
+		for i := 0; i < n; i++ {
+			// Mix a uniform band with occasional near-zero dips, the shape
+			// of real Scrout streams.
+			v := lo + rng.Float64()*span
+			if rng.Intn(10) == 0 {
+				v = rng.Float64() * lo
+			}
+			if v > 1 {
+				v = 1
+			}
+			if v < min {
+				min = v
+			}
+			if v > max {
+				max = v
+			}
+			m.Add(v)
+		}
+		fit, ok := m.Fit()
+		if !ok {
+			continue // not enough samples for even the coarsest tolerance
+		}
+		if fit.Threshold < min || fit.Threshold > max {
+			t.Fatalf("trial %d: threshold %g outside observed range [%g, %g]",
+				trial, fit.Threshold, min, max)
+		}
+		if fit.P <= 0 || fit.P >= 1 {
+			t.Fatalf("trial %d: achieved P = %g not in (0, 1)", trial, fit.P)
+		}
+		if fit.Q < fit.P || fit.Q > model.QMax {
+			t.Fatalf("trial %d: q = %g not in [P=%g, QMax=%g]",
+				trial, fit.Q, fit.P, model.QMax)
+		}
+		// The threshold must actually realize P on the empirical CDF.
+		ecdf := stats.NewECDF(m.Samples())
+		if got := ecdf.F(fit.Threshold); got != fit.P {
+			t.Fatalf("trial %d: Fn(threshold) = %g, fit.P = %g", trial, got, fit.P)
+		}
+		// And q must be usable by the significance test.
+		if k := stats.GeometricThreshold(fit.Q, 0.001); k < 1 || k > 27 {
+			t.Fatalf("trial %d: k = %d outside (0, 27] for q = %g", trial, k, fit.Q)
+		}
+	}
+}

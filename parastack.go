@@ -41,6 +41,7 @@
 package parastack
 
 import (
+	"io"
 	"math/rand"
 	"time"
 
@@ -49,6 +50,7 @@ import (
 	"parastack/internal/fault"
 	"parastack/internal/mpi"
 	"parastack/internal/noise"
+	"parastack/internal/obs"
 	"parastack/internal/sched"
 	"parastack/internal/sim"
 	"parastack/internal/stack"
@@ -157,6 +159,33 @@ const (
 	JobHangTerminated = sched.HangTerminated
 )
 
+// Observability: structured tracing and metrics (package internal/obs).
+type (
+	// Recorder is the instrumentation seam shared by the engine, the
+	// monitor, and the experiment harness.
+	Recorder = obs.Recorder
+	// BasicRecorder is the standard Recorder: counters always on,
+	// events forwarded to an attached sink.
+	BasicRecorder = obs.Basic
+	// TraceEvent is one structured event on the virtual clock.
+	TraceEvent = obs.Event
+	// TraceField is one key/value of a TraceEvent (obs.Str/Int/F64/Bool).
+	TraceField = obs.Field
+	// TraceSink consumes trace events (MemSink, JSONLSink, or custom).
+	TraceSink = obs.Sink
+	// MemSink retains events in memory — the test assertion seam.
+	MemSink = obs.MemSink
+	// JSONLSink writes events as one JSON object per line.
+	JSONLSink = obs.JSONLSink
+	// MetricSnapshot is a point-in-time copy of counters and gauges.
+	MetricSnapshot = obs.Snapshot
+	// MetricTotals aggregates snapshots across a campaign's runs.
+	MetricTotals = obs.Totals
+)
+
+// DisabledRecorder is the zero-cost Recorder that drops everything.
+var DisabledRecorder = obs.Disabled
+
 // NewEngine returns a deterministic simulation engine seeded with seed.
 func NewEngine(seed int64) *Engine { return sim.NewEngine(seed) }
 
@@ -235,3 +264,19 @@ func Campaign(base RunConfig, n int, seed0 int64) []RunResult {
 
 // Aggregate computes the paper's campaign metrics.
 func Aggregate(rs []RunResult) Metrics { return experiment.Aggregate(rs) }
+
+// NewRecorder returns a recorder forwarding events to sink; a nil sink
+// yields a metrics-only recorder (counters on, events off).
+func NewRecorder(sink TraceSink) *BasicRecorder { return obs.New(sink) }
+
+// NewMemSink returns an empty in-memory trace sink.
+func NewMemSink() *MemSink { return obs.NewMemSink() }
+
+// NewJSONLSink wraps w as a JSONL trace sink.
+func NewJSONLSink(w io.Writer) *JSONLSink { return obs.NewJSONLSink(w) }
+
+// OpenJSONLTrace creates (truncating) a JSONL trace file at path.
+func OpenJSONLTrace(path string) (*JSONLSink, error) { return obs.OpenJSONL(path) }
+
+// NewMetricTotals returns an empty cross-run counter aggregator.
+func NewMetricTotals() *MetricTotals { return obs.NewTotals() }
