@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race fmt-check bench ci
+.PHONY: all build test vet race fmt-check bench bench-json bench-smoke ci
 
 all: build test
 
@@ -26,7 +26,18 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 bench:
-	$(GO) test -bench=. -benchmem -run=^$$
+	$(GO) test -bench=. -benchmem -run=^$$ ./...
+
+# Regenerate the checked-in performance artifact: ns/op, allocs/op and
+# events/sec for the engine/monitor/campaign hot paths. See the
+# "Benchmarks" section of README.md for the schema.
+bench-json:
+	$(GO) run ./cmd/psbench -bench-json BENCH_engine.json
+
+# One-iteration pass over every benchmark: catches bit-rot in bench
+# code without spending time on measurement.
+bench-smoke:
+	$(GO) test -run=^$$ -bench=. -benchtime=1x ./...
 
 # The gate PRs must pass.
-ci: fmt-check vet build race
+ci: fmt-check vet build race bench-smoke

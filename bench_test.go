@@ -10,6 +10,7 @@ package parastack_test
 
 import (
 	"io"
+	"strconv"
 	"testing"
 	"time"
 
@@ -402,8 +403,14 @@ func BenchmarkAblationAlpha(b *testing.B) {
 	}
 }
 
+// benchSink keeps benchmark loop results observable so the compiler
+// cannot eliminate the measured work as dead code.
+var benchSink int
+
 // BenchmarkMonitorSamplingCost measures the per-sample cost of the
-// monitor machinery itself (model update + fit) outside a simulation.
+// monitor machinery itself (stack-state scan) outside a simulation.
+// The finer-grained suite lives in internal/bench (cmd/psbench
+// -bench-json) and the internal/sim and internal/core benchmarks.
 func BenchmarkMonitorSamplingCost(b *testing.B) {
 	eng := parastack.NewEngine(1)
 	w := parastack.NewWorld(eng, 256, parastack.Latency{})
@@ -413,6 +420,7 @@ func BenchmarkMonitorSamplingCost(b *testing.B) {
 	// Approximate one sampling round: trace 10 stacks + model work.
 	ranks := cluster.PickMonitorSet(eng.Rand(), 10, nil).Ranks
 	b.ResetTimer()
+	total := 0
 	for i := 0; i < b.N; i++ {
 		out := 0
 		for _, id := range ranks {
@@ -420,34 +428,15 @@ func BenchmarkMonitorSamplingCost(b *testing.B) {
 				out++
 			}
 		}
+		total += out
 	}
+	benchSink = total
 }
 
 func benchName(prefix string, v int) string {
-	return prefix + "=" + itoa(v)
+	return prefix + "=" + strconv.Itoa(v)
 }
 
 func benchFloat(prefix string, v float64) string {
-	switch v {
-	case 0.01:
-		return prefix + "=0.01"
-	case 0.001:
-		return prefix + "=0.001"
-	default:
-		return prefix + "=0.0001"
-	}
-}
-
-func itoa(v int) string {
-	if v == 0 {
-		return "0"
-	}
-	var buf [8]byte
-	i := len(buf)
-	for v > 0 {
-		i--
-		buf[i] = byte('0' + v%10)
-		v /= 10
-	}
-	return string(buf[i:])
+	return prefix + "=" + strconv.FormatFloat(v, 'g', -1, 64)
 }

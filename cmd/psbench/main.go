@@ -22,14 +22,22 @@
 // (runs are tagged with their seed via the "run" key); -metrics prints
 // counter totals aggregated across all runs at the end. See the
 // "Observability" section of README.md for the schema.
+//
+// -bench-json FILE runs the fixed engine/monitor/campaign
+// microbenchmark suite and writes the measurements (ns/op, allocs/op,
+// events/sec) to FILE; see the "Benchmarks" section of README.md for
+// the schema. `make bench-json` regenerates the checked-in
+// BENCH_engine.json.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
+	"parastack/internal/bench"
 	"parastack/internal/obs"
 	"parastack/internal/paper"
 )
@@ -44,7 +52,16 @@ func main() {
 	maxScale := flag.Int("maxscale", 4096, "largest rank count for -scale")
 	traceFile := flag.String("trace", "", "write a JSONL event trace of every run to this file")
 	metrics := flag.Bool("metrics", false, "print counter totals over all runs at the end")
+	benchJSON := flag.String("bench-json", "", "run the microbenchmark suite and write results to this file")
 	flag.Parse()
+
+	if *benchJSON != "" {
+		if err := runBenchJSON(*benchJSON); err != nil {
+			fmt.Fprintln(os.Stderr, "psbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	opt := paper.Options{Runs: *runs, Seed: *seed, MaxScale: *maxScale}
 	if *traceFile != "" {
@@ -134,4 +151,28 @@ func main() {
 		}
 	}
 	fmt.Fprintf(w, "(wall time %v)\n", time.Since(start).Round(time.Millisecond))
+}
+
+// runBenchJSON runs the fixed microbenchmark suite, writes the JSON
+// artifact, and echoes a human-readable summary to stdout.
+func runBenchJSON(path string) error {
+	start := time.Now()
+	fmt.Printf("running microbenchmark suite (this takes a minute)...\n")
+	rep := bench.RunSuite()
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	bench.WriteSummary(os.Stdout, rep)
+	fmt.Printf("wrote %s (wall time %v)\n", path, time.Since(start).Round(time.Millisecond))
+	return nil
 }

@@ -1,0 +1,154 @@
+package core
+
+// Regression tests for the ring-buffer sample history behind
+// Config.KeepHistory: insertion order, in-place eviction at
+// MaxHistory, and the KeepHistory on/off switch.
+
+import (
+	"testing"
+
+	"parastack/internal/mpi"
+	"parastack/internal/sim"
+	"parastack/internal/topology"
+)
+
+// newHistoryMonitor builds a minimal monitor whose record method can be
+// driven directly, with the given history configuration.
+func newHistoryMonitor(keep bool, maxHistory int) *Monitor {
+	eng := sim.NewEngine(1)
+	w := mpi.NewWorld(eng, 4, mpi.Latency{})
+	cluster := topology.New(1, 4, 1)
+	return New(w, cluster, Config{KeepHistory: keep, MaxHistory: maxHistory})
+}
+
+func scrouts(samples []Sample) []float64 {
+	out := make([]float64, len(samples))
+	for i, s := range samples {
+		out[i] = s.Scrout
+	}
+	return out
+}
+
+func TestHistoryOrderingBeforeWrap(t *testing.T) {
+	m := newHistoryMonitor(true, 8)
+	for i := 0; i < 5; i++ {
+		m.record(float64(i), false)
+	}
+	got := scrouts(m.History())
+	if len(got) != 5 {
+		t.Fatalf("History len = %d, want 5", len(got))
+	}
+	for i, v := range got {
+		if v != float64(i) {
+			t.Fatalf("History[%d] = %v, want %v (insertion order)", i, v, i)
+		}
+	}
+}
+
+func TestHistoryEvictionAtMaxHistory(t *testing.T) {
+	const max = 8
+	m := newHistoryMonitor(true, max)
+	// Write 3 full generations plus a partial one: the ring must wrap
+	// repeatedly and always retain exactly the last max samples.
+	const total = 3*max + 3
+	for i := 0; i < total; i++ {
+		m.record(float64(i), false)
+		if n := len(m.History()); n > max {
+			t.Fatalf("after %d records History len = %d, exceeds MaxHistory %d", i+1, n, max)
+		}
+	}
+	got := scrouts(m.History())
+	if len(got) != max {
+		t.Fatalf("History len = %d, want %d", len(got), max)
+	}
+	for i, v := range got {
+		want := float64(total - max + i)
+		if v != want {
+			t.Fatalf("History[%d] = %v, want %v (oldest-first after eviction)", i, v, want)
+		}
+	}
+}
+
+func TestHistoryExactBoundaryDoesNotEvict(t *testing.T) {
+	const max = 8
+	m := newHistoryMonitor(true, max)
+	for i := 0; i < max; i++ {
+		m.record(float64(i), false)
+	}
+	got := scrouts(m.History())
+	if len(got) != max {
+		t.Fatalf("History len = %d, want %d", len(got), max)
+	}
+	if got[0] != 0 || got[max-1] != float64(max-1) {
+		t.Fatalf("filling to exactly MaxHistory must not evict: got %v", got)
+	}
+}
+
+func TestHistoryDisabledKeepsNothing(t *testing.T) {
+	m := newHistoryMonitor(false, 8)
+	for i := 0; i < 20; i++ {
+		m.record(float64(i), false)
+	}
+	if n := len(m.History()); n != 0 {
+		t.Fatalf("KeepHistory off but History len = %d", n)
+	}
+	// Samples are still counted even when history is off.
+	if got := m.rec.Counter(CtrSamples); got != 20 {
+		t.Fatalf("%s = %d, want 20", CtrSamples, got)
+	}
+}
+
+// TestHistoryWrappedCopyIsStable ensures the linearized copy returned
+// after wrapping is detached from the ring: later records must not
+// mutate a slice already handed to a caller.
+func TestHistoryWrappedCopyIsStable(t *testing.T) {
+	const max = 4
+	m := newHistoryMonitor(true, max)
+	for i := 0; i < max+2; i++ { // wrapped: histStart != 0
+		m.record(float64(i), false)
+	}
+	snap := m.History()
+	before := scrouts(snap)
+	m.record(99, false)
+	after := scrouts(snap)
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatalf("History snapshot mutated by later record: %v -> %v", before, after)
+		}
+	}
+}
+
+// TestTinyClusterFallsBackToSingleSet: a cluster too small to fill
+// multiple disjoint sets must still leave the monitor with one usable
+// set instead of panicking in ActiveRanks/sampleScrout.
+func TestTinyClusterFallsBackToSingleSet(t *testing.T) {
+	eng := sim.NewEngine(1)
+	w := mpi.NewWorld(eng, 1, mpi.Latency{})
+	cluster := topology.New(1, 1, 1)
+	m := New(w, cluster, Config{C: 10, NumSets: 4})
+	if len(m.sets) == 0 {
+		t.Fatal("monitor has no sets on a tiny cluster")
+	}
+	ranks := m.ActiveRanks()
+	if len(ranks) == 0 {
+		t.Fatal("ActiveRanks is empty on a tiny cluster")
+	}
+	w.Launch(func(r *mpi.Rank) { r.Proc().Suspend() })
+	eng.RunAll()
+	if got := m.sampleScrout(); got != 1 {
+		t.Fatalf("sampleScrout = %v, want 1 (single parked OUT_MPI rank)", got)
+	}
+	// And a full monitored run on the tiny cluster must not panic.
+	eng2 := sim.NewEngine(2)
+	w2 := mpi.NewWorld(eng2, 1, mpi.Latency{})
+	m2 := New(w2, topology.New(1, 1, 2), Config{})
+	m2.Start()
+	w2.Launch(func(r *mpi.Rank) {
+		for i := 0; i < 50; i++ {
+			r.Compute(10 * 1000 * 1000) // 10ms
+			r.Barrier()
+		}
+	})
+	eng2.Run(60 * 1000 * 1000 * 1000)
+	eng2.Shutdown()
+}

@@ -208,8 +208,18 @@ type Monitor struct {
 	sinceSwitch  int
 	totalSamples int
 
-	report  *Report
-	history []Sample
+	report *Report
+
+	// history is a ring buffer of the most recent MaxHistory samples:
+	// once full, the oldest sample (at histStart) is overwritten in
+	// place, so steady-state recording is O(1) and allocation-free
+	// instead of the copy-shift eviction it replaced.
+	history   []Sample
+	histStart int
+
+	// traceScratch is reused by slowdownCheck so the steady-state
+	// verification path allocates nothing per check.
+	traceScratch []stack.Trace
 
 	// Phase support (§6): nil models map means single-phase operation.
 	curPhase int
@@ -256,6 +266,12 @@ func New(w *mpi.World, cluster *topology.Cluster, cfg Config) *Monitor {
 		}
 		m.sets = kept
 	}
+	if len(m.sets) == 0 {
+		// Tiny or degenerate clusters can leave every disjoint set
+		// empty; fall back to a single best-effort set so ActiveRanks
+		// and sampleScrout never index an empty slice.
+		m.sets = []topology.MonitorSet{cluster.PickMonitorSet(rng, cfg.C, nil)}
+	}
 	return m
 }
 
@@ -265,8 +281,18 @@ func (m *Monitor) Interval() time.Duration { return m.I }
 // Report returns the hang report, or nil if no hang was verified.
 func (m *Monitor) Report() *Report { return m.report }
 
-// History returns retained samples (empty unless Config.KeepHistory).
-func (m *Monitor) History() []Sample { return m.history }
+// History returns retained samples, oldest first (empty unless
+// Config.KeepHistory). Once the ring buffer has wrapped, the result is
+// a fresh linearized copy; before that it aliases the internal buffer.
+func (m *Monitor) History() []Sample {
+	if m.histStart == 0 {
+		return m.history
+	}
+	out := make([]Sample, len(m.history))
+	n := copy(out, m.history[m.histStart:])
+	copy(out[n:], m.history[:m.histStart])
+	return out
+}
 
 // Model exposes the Scrout model (read-only use intended).
 func (m *Monitor) Model() *model.Model { return m.model }
@@ -276,6 +302,20 @@ func (m *Monitor) ActiveRanks() []int { return m.sets[m.activeSet].Ranks }
 
 // TotalSamples reports how many Scrout samples the monitor has taken.
 func (m *Monitor) TotalSamples() int { return m.totalSamples }
+
+// SampleOnce executes one steady-state sampling round outside the
+// simulation loop: trace the active monitor set, fold the Scrout value
+// into the model, and record the sample. The monitor's run loop
+// performs exactly these steps per wakeup; SampleOnce exposes them so
+// benchmarks (internal/bench, cmd/psbench -bench-json) can measure the
+// per-sample cost — which must stay allocation-free — directly.
+func (m *Monitor) SampleOnce() float64 {
+	scrout := m.sampleScrout()
+	m.curModel().Add(scrout)
+	m.totalSamples++
+	m.record(scrout, false)
+	return scrout
+}
 
 // Recorder returns the monitor's observability recorder.
 func (m *Monitor) Recorder() obs.Recorder { return m.rec }
@@ -426,7 +466,8 @@ func (m *Monitor) run(p *sim.Proc) {
 
 // record counts and emits the sample, and appends to history when
 // enabled. History is bounded by Config.MaxHistory (oldest evicted
-// first), so long campaigns with KeepHistory cannot grow without limit.
+// first), so long campaigns with KeepHistory cannot grow without limit;
+// eviction overwrites the ring slot in place (O(1), no copy-shift).
 func (m *Monitor) record(scrout float64, susp bool) {
 	m.rec.Count(CtrSamples, 1)
 	if m.rec.Enabled() {
@@ -437,16 +478,21 @@ func (m *Monitor) record(scrout float64, susp bool) {
 			obs.Int("n", int64(m.curModel().N())))
 	}
 	if m.cfg.KeepHistory {
-		if len(m.history) >= m.cfg.MaxHistory {
-			copy(m.history, m.history[1:])
-			m.history = m.history[:len(m.history)-1]
-		}
-		m.history = append(m.history, Sample{
+		s := Sample{
 			T:         time.Duration(m.w.Engine().Now()),
 			Scrout:    scrout,
 			Suspicion: susp,
 			Set:       m.activeSet,
-		})
+		}
+		if len(m.history) < m.cfg.MaxHistory {
+			m.history = append(m.history, s)
+		} else {
+			m.history[m.histStart] = s
+			m.histStart++
+			if m.histStart == len(m.history) {
+				m.histStart = 0
+			}
+		}
 	}
 }
 
@@ -518,7 +564,10 @@ func (m *Monitor) slowdownCheck(p *sim.Proc) bool {
 		}
 	}
 	n := m.w.Size()
-	first := make([]stack.Trace, n)
+	if cap(m.traceScratch) < n {
+		m.traceScratch = make([]stack.Trace, n)
+	}
+	first := m.traceScratch[:n]
 	for i := 0; i < n; i++ {
 		first[i] = m.trace(i)
 	}

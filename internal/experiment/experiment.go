@@ -86,6 +86,10 @@ type RunResult struct {
 	Spec     workload.Spec
 	Platform string
 	Seed     int64
+	// FaultKind echoes the injected fault's kind, so aggregation can
+	// apply the same per-kind rules Run does (e.g. excluding
+	// communication deadlocks from faulty-identification metrics).
+	FaultKind fault.Kind
 
 	// Completed is true when the application finished, with FinishedAt
 	// its completion time.
@@ -154,7 +158,7 @@ func Run(rc RunConfig) RunResult {
 	rc.Platform.Apply(w, eng.Rand(), ppn, estimated)
 	cluster := topology.New(procs/ppn, ppn, rc.Seed)
 
-	res := RunResult{Spec: p.Spec, Platform: rc.Platform.Name, Seed: rc.Seed}
+	res := RunResult{Spec: p.Spec, Platform: rc.Platform.Name, Seed: rc.Seed, FaultKind: rc.FaultKind}
 
 	var inj *fault.Injector
 	if rc.FaultKind != fault.None {
@@ -162,8 +166,14 @@ func Run(rc RunConfig) RunResult {
 		if minT == 0 {
 			minT = 30 * time.Second
 		}
+		// Degenerate specs (zero compute per iteration, or zero
+		// iterations) have no model-building phase to protect; fall
+		// back to iteration 0 instead of dividing by zero.
 		perIter := time.Duration(float64(p.Compute) / speed)
-		minIter := int(minT/perIter) + 1
+		minIter := 0
+		if perIter > 0 {
+			minIter = int(minT/perIter) + 1
+		}
 		plan := fault.NewRandomPlan(eng.Rand(), rc.FaultKind, procs, p.Iters, minIter, ppn)
 		inj = fault.NewInjector(plan)
 		res.PlannedFail = plan.FaultyRanks()
@@ -349,7 +359,12 @@ func Aggregate(rs []RunResult) Metrics {
 		if r.Completed {
 			runtimes = append(runtimes, r.FinishedAt.Seconds())
 		}
-		if r.Detected && len(r.PlannedFail) > 0 && r.Report != nil {
+		// Same eligibility rule as Run's precision computation:
+		// communication-deadlock runs have no faulty ranks to identify
+		// (Precision is always 0 there), so counting them would
+		// silently dilute PRf and ACf.
+		if r.Detected && len(r.PlannedFail) > 0 && r.Report != nil &&
+			r.FaultKind != fault.CommunicationDeadlock {
 			m.FaultyChecked++
 			precSum += r.Precision
 			if r.FaultyFound {

@@ -169,3 +169,85 @@ func TestPPNFor(t *testing.T) {
 		t.Fatal("PPNFor wrong")
 	}
 }
+
+// TestZeroComputeFaultPlanDoesNotPanic: Params.Compute == 0 (and even
+// Iters == 0) makes the per-iteration fault-placement arithmetic
+// degenerate; the plan must fall back to iteration 0 instead of
+// dividing by zero or asking the RNG for Intn(0).
+func TestZeroComputeFaultPlanDoesNotPanic(t *testing.T) {
+	p := smallParams()
+	p.Compute = 0
+	p.Iters = 0
+	res := Run(RunConfig{
+		Params:    p,
+		Platform:  noise.Tardis(),
+		PPN:       8,
+		Seed:      11,
+		FaultKind: fault.ComputationHang,
+		WallLimit: 30 * time.Second,
+	})
+	if res.Seed != 11 {
+		t.Fatalf("unexpected result: %+v", res)
+	}
+}
+
+// TestAggregateExcludesDeadlockFromFaultyMetrics: Run deliberately
+// skips communication-deadlock runs when computing Precision (there
+// are no faulty ranks to identify), so Aggregate must skip them in
+// FaultyChecked too — otherwise their always-zero Precision silently
+// dilutes PRf and ACf.
+func TestAggregateExcludesDeadlockFromFaultyMetrics(t *testing.T) {
+	rep := &core.Report{}
+	comp := RunResult{
+		FaultKind:   fault.ComputationHang,
+		Detected:    true,
+		PlannedFail: []int{3},
+		Report:      rep,
+		FaultyFound: true,
+		Precision:   1,
+	}
+	dead := RunResult{
+		FaultKind:   fault.CommunicationDeadlock,
+		Detected:    true,
+		PlannedFail: []int{5},
+		Report:      rep, // Precision stays 0: nothing identifiable
+	}
+	m := Aggregate([]RunResult{comp, dead})
+	if m.FaultyChecked != 1 {
+		t.Fatalf("FaultyChecked = %d, want 1 (deadlock run must be excluded)", m.FaultyChecked)
+	}
+	if m.PRf != 1 || m.ACf != 1 {
+		t.Fatalf("PRf = %v, ACf = %v, want 1, 1 (undiluted by the deadlock run)", m.PRf, m.ACf)
+	}
+}
+
+// TestDeadlockCampaignAggregate runs a real communication-deadlock
+// campaign end to end: detection still counts toward accuracy, but no
+// run may enter the faulty-identification pool.
+func TestDeadlockCampaignAggregate(t *testing.T) {
+	rs := Campaign(RunConfig{
+		Params:    smallParams(),
+		Platform:  noise.Tardis(),
+		PPN:       8,
+		FaultKind: fault.CommunicationDeadlock,
+		Monitor:   &core.Config{},
+	}, 3, 200)
+	m := Aggregate(rs)
+	if m.Injected != 3 {
+		t.Fatalf("injected = %d, want 3", m.Injected)
+	}
+	if m.FaultyChecked != 0 {
+		t.Fatalf("FaultyChecked = %d, want 0 for a pure deadlock campaign", m.FaultyChecked)
+	}
+	if m.Detected == 0 {
+		t.Fatal("no deadlock detected; detection accuracy should not depend on the fix")
+	}
+	for _, r := range rs {
+		if r.FaultKind != fault.CommunicationDeadlock {
+			t.Fatalf("run %d lost its FaultKind: %v", r.Seed, r.FaultKind)
+		}
+		if r.Precision != 0 {
+			t.Fatalf("deadlock run %d has Precision %v, want 0", r.Seed, r.Precision)
+		}
+	}
+}

@@ -67,6 +67,9 @@ type Plan struct {
 // discards faults landing in the first ~20 seconds (model-building
 // phase); callers encode that by passing an appropriate minIter.
 func NewRandomPlan(rng *rand.Rand, kind Kind, size, iters, minIter, ppn int) Plan {
+	if iters <= 0 {
+		iters = 1 // degenerate spec: the only possible trigger is iteration 0
+	}
 	if minIter >= iters {
 		minIter = iters - 1
 	}

@@ -52,6 +52,10 @@ const pMaxCandidate = 0.75
 type Model struct {
 	samples []float64
 	maxN    int
+
+	// ecdf is scratch reused by Fit; refitting on every sample is part
+	// of the monitor's steady-state hot path and must not allocate.
+	ecdf stats.ECDF
 }
 
 // New returns a model retaining at most maxHistory samples (oldest
@@ -132,20 +136,23 @@ func fitAtLevel(ecdf *stats.ECDF, e float64) (Fit, bool) {
 		t, p float64
 		n    int
 	}
-	var cands []cand
+	var cands [2]cand // at most t2 and t1; fixed-size to avoid heap churn
+	nc := 0
 	if p2 := ecdf.F(t2); p2 > 0 && p2 < pMaxCandidate {
-		cands = append(cands, cand{t2, p2, stats.RequiredSampleSize(p2, e)})
+		cands[nc] = cand{t2, p2, stats.RequiredSampleSize(p2, e)}
+		nc++
 	}
 	if t1, ok := ecdf.Below(t2); ok {
 		if p1 := ecdf.F(t1); p1 > 0 && p1 < pMaxCandidate {
-			cands = append(cands, cand{t1, p1, stats.RequiredSampleSize(p1, e)})
+			cands[nc] = cand{t1, p1, stats.RequiredSampleSize(p1, e)}
+			nc++
 		}
 	}
-	if len(cands) == 0 {
+	if nc == 0 {
 		return Fit{}, false
 	}
 	best := cands[0]
-	for _, c := range cands[1:] {
+	for _, c := range cands[1:nc] {
 		if c.n < best.n {
 			best = c
 		}
@@ -166,10 +173,10 @@ func (m *Model) Fit() (Fit, bool) {
 	if n == 0 {
 		return Fit{}, false
 	}
-	ecdf := stats.NewECDF(m.samples)
+	m.ecdf.Reset(m.samples)
 	// Try finest tolerance first: 0.05, 0.1, 0.2, 0.3.
 	for i := len(ToleranceLevels) - 1; i >= 0; i-- {
-		f, ok := fitAtLevel(ecdf, ToleranceLevels[i])
+		f, ok := fitAtLevel(&m.ecdf, ToleranceLevels[i])
 		if ok && n >= f.MinN {
 			return f, true
 		}

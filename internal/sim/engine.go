@@ -16,7 +16,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"time"
@@ -46,49 +45,98 @@ type Time = time.Duration
 
 // Event is a scheduled callback. Events with equal times fire in
 // scheduling order (FIFO), which keeps runs deterministic.
+//
+// Fired events are recycled through the engine's free list, so an
+// *Event handle is only valid until its event fires: cancel pending
+// events, never handles retained past their firing time (canceling
+// from within the event's own callback is still safe).
 type Event struct {
 	when Time
 	seq  uint64
 	fn   func()
+	proc *Proc // when non-nil, firing dispatches this process directly
 
 	canceled bool
 	index    int // heap index, -1 when popped
 }
 
 // Cancel prevents a pending event from firing. Canceling an event that
-// already fired is a no-op.
+// is currently firing (from within its own callback) is a no-op; see
+// the handle-validity note on Event for already-fired events.
 func (ev *Event) Cancel() { ev.canceled = true }
 
 // When returns the virtual time at which the event is scheduled.
 func (ev *Event) When() Time { return ev.when }
 
+// eventBefore is the queue's total order: earlier virtual time first,
+// scheduling order (seq) breaking ties. Because the order is total,
+// every correct heap implementation pops events in the same sequence,
+// which is what keeps runs bit-identical across engine versions.
+func eventBefore(a, b *Event) bool {
+	if a.when != b.when {
+		return a.when < b.when
+	}
+	return a.seq < b.seq
+}
+
+// eventHeap is a binary min-heap ordered by eventBefore. The sift
+// operations are hand-inlined rather than going through
+// container/heap's interface so the hot path stays monomorphic: no
+// `any` boxing on push/pop and no indirect Less/Swap calls.
 type eventHeap []*Event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].when != h[j].when {
-		return h[i].when < h[j].when
+// push inserts ev, sifting it up from the last slot. Parents are moved
+// down into the hole instead of swapped pairwise.
+func (h *eventHeap) push(ev *Event) {
+	q := append(*h, ev)
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !eventBefore(ev, q[parent]) {
+			break
+		}
+		q[i] = q[parent]
+		q[i].index = i
+		i = parent
 	}
-	return h[i].seq < h[j].seq
+	q[i] = ev
+	ev.index = i
+	*h = q
 }
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	ev := x.(*Event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*h = old[:n-1]
-	return ev
+
+// popMin removes and returns the earliest event, re-seating the last
+// element by sifting it down from the root.
+func (h *eventHeap) popMin() *Event {
+	q := *h
+	min := q[0]
+	min.index = -1
+	n := len(q) - 1
+	last := q[n]
+	q[n] = nil
+	q = q[:n]
+	*h = q
+	if n == 0 {
+		return min // fast path: queue drained, nothing to re-seat
+	}
+	i := 0
+	for {
+		child := 2*i + 1
+		if child >= n {
+			break
+		}
+		if r := child + 1; r < n && eventBefore(q[r], q[child]) {
+			child = r
+		}
+		if !eventBefore(q[child], last) {
+			break
+		}
+		q[i] = q[child]
+		q[i].index = i
+		i = child
+	}
+	q[i] = last
+	last.index = i
+	return min
 }
 
 // Engine is a discrete-event simulator. The zero value is not usable;
@@ -96,6 +144,7 @@ func (h *eventHeap) Pop() any {
 type Engine struct {
 	now      Time
 	queue    eventHeap
+	free     []*Event // recycled fired events, reused by schedule
 	seq      uint64
 	rng      *rand.Rand
 	parked   chan struct{} // handoff from a running process back to the scheduler
@@ -171,15 +220,25 @@ func (e *Engine) Procs() []*Proc { return e.procs }
 // terminated.
 func (e *Engine) LiveProcs() int { return e.liveProcs }
 
-// At schedules fn to run at absolute virtual time t. Scheduling in the
-// past panics: it would silently reorder causality.
-func (e *Engine) At(t Time, fn func()) *Event {
+// schedule allocates (or recycles) an event at absolute virtual time t
+// and inserts it into the queue. Scheduling in the past panics: it
+// would silently reorder causality.
+func (e *Engine) schedule(t Time) *Event {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
-	ev := &Event{when: t, seq: e.seq, fn: fn}
+	var ev *Event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+	} else {
+		ev = &Event{}
+	}
+	ev.when = t
+	ev.seq = e.seq
 	e.seq++
-	heap.Push(&e.queue, ev)
+	e.queue.push(ev)
 	if n := len(e.queue); n > e.maxDepth {
 		e.maxDepth = n
 		// Emit depth milestones on ~2x growth only, so the trace stays
@@ -189,6 +248,33 @@ func (e *Engine) At(t Time, fn func()) *Event {
 			e.rec.Event(e.now, EvQueueDepth, obs.Int("depth", int64(n)))
 		}
 	}
+	return ev
+}
+
+// recycle resets a popped event and returns it to the free list. The
+// free list never exceeds the maximum number of concurrently pending
+// events, so it needs no cap of its own.
+func (e *Engine) recycle(ev *Event) {
+	ev.fn = nil
+	ev.proc = nil
+	ev.canceled = false
+	e.free = append(e.free, ev)
+}
+
+// At schedules fn to run at absolute virtual time t.
+func (e *Engine) At(t Time, fn func()) *Event {
+	ev := e.schedule(t)
+	ev.fn = fn
+	return ev
+}
+
+// atProc schedules a direct process dispatch at time t. This is the
+// allocation-free fast path for Sleep/Wake/Spawn: no callback closure
+// is created, the run loop dispatches the process straight from the
+// event's proc field.
+func (e *Engine) atProc(t Time, p *Proc) *Event {
+	ev := e.schedule(t)
+	ev.proc = p
 	return ev
 }
 
@@ -242,15 +328,26 @@ func (e *Engine) Run(until Time) Time {
 			e.now = until
 			return e.now
 		}
-		heap.Pop(&e.queue)
+		e.queue.popMin()
 		if next.canceled {
+			e.recycle(next)
 			continue
 		}
 		if next.when > e.now {
 			e.now = next.when
 		}
 		e.eventsFired++
-		next.fn()
+		// Fast path: the overwhelmingly common event is a process
+		// dispatch (sleep wakeup / suspend resume); it carries the
+		// process directly instead of a closure.
+		if p := next.proc; p != nil {
+			e.dispatch(p)
+		} else {
+			next.fn()
+		}
+		// Recycled only after the callback returns, so a Cancel from
+		// within the event's own callback stays a safe no-op.
+		e.recycle(next)
 	}
 	return e.now
 }

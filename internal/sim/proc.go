@@ -110,7 +110,7 @@ func (e *Engine) Spawn(name string, start Time, body func(*Proc)) *Proc {
 		}
 		body(p)
 	}()
-	e.At(start, func() { e.dispatch(p) })
+	e.atProc(start, p)
 	return p
 }
 
@@ -157,7 +157,7 @@ func (p *Proc) Sleep(d time.Duration) {
 	if e.traceProcs && e.rec.Enabled() {
 		e.rec.Event(e.now, EvProcSleep, obs.Int("proc", int64(p.ID)), obs.Dur("dur_us", d))
 	}
-	p.wake = e.At(e.now+d, func() { e.dispatch(p) })
+	p.wake = e.atProc(e.now+d, p)
 	p.park(ProcSleeping)
 }
 
@@ -179,7 +179,7 @@ func (p *Proc) WakeAt(t Time) {
 	e := p.eng
 	// Mark as sleeping-with-event so a second WakeAt panics.
 	p.state = ProcSleeping
-	p.wake = e.At(t, func() { e.dispatch(p) })
+	p.wake = e.atProc(t, p)
 }
 
 // Wake resumes a suspended process at the current virtual time.

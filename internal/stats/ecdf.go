@@ -11,10 +11,22 @@ type ECDF struct {
 
 // NewECDF builds an ECDF from samples (the input slice is not retained).
 func NewECDF(samples []float64) *ECDF {
-	s := make([]float64, len(samples))
-	copy(s, samples)
-	sort.Float64s(s)
-	return &ECDF{sorted: s}
+	e := &ECDF{}
+	e.Reset(samples)
+	return e
+}
+
+// Reset reinitializes the ECDF in place from samples, reusing the
+// sorted buffer's capacity (the input slice is not retained). Callers
+// on hot paths — the monitor refits its model on every sample — use
+// this to keep repeated fits allocation-free.
+func (e *ECDF) Reset(samples []float64) {
+	if cap(e.sorted) < len(samples) {
+		e.sorted = make([]float64, len(samples))
+	}
+	e.sorted = e.sorted[:len(samples)]
+	copy(e.sorted, samples)
+	sort.Float64s(e.sorted)
 }
 
 // N returns the sample count.
