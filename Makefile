@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race fmt-check bench bench-json bench-smoke ci
+.PHONY: all build test vet race fmt-check bench bench-json bench-smoke sweep-smoke ci
 
 all: build test
 
@@ -39,5 +39,15 @@ bench-json:
 bench-smoke:
 	$(GO) test -run=^$$ -bench=. -benchtime=1x ./...
 
+# Kill-and-resume check on the tiny built-in grid: run half the sweep
+# (-halt-after is the deterministic crash stand-in), then resume and
+# finish. Exercises the durable log, the resume index, and the CLI.
+SWEEP_SMOKE_LOG := /tmp/parastack-sweep-smoke.jsonl
+sweep-smoke:
+	@rm -f $(SWEEP_SMOKE_LOG)
+	$(GO) run ./cmd/pssweep -grid smoke -out $(SWEEP_SMOKE_LOG) -halt-after 2
+	$(GO) run ./cmd/pssweep -grid smoke -out $(SWEEP_SMOKE_LOG) -resume
+	@rm -f $(SWEEP_SMOKE_LOG)
+
 # The gate PRs must pass.
-ci: fmt-check vet build race bench-smoke
+ci: fmt-check vet build race bench-smoke sweep-smoke

@@ -45,18 +45,15 @@ func main() {
 		os.Exit(2)
 	}
 
-	var kind parastack.FaultKind
-	switch *faultKind {
-	case "none":
-		kind = parastack.NoFault
-	case "computation":
-		kind = parastack.ComputationHang
-	case "node":
-		kind = parastack.NodeFreeze
-	case "deadlock":
-		kind = parastack.CommunicationDeadlock
-	default:
-		fmt.Fprintf(os.Stderr, "parastack: unknown fault kind %q\n", *faultKind)
+	kind, err := parastack.ParseFaultKind(*faultKind)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "parastack:", err)
+		os.Exit(2)
+	}
+
+	prof, err := parastack.LookupPlatform(*platform)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "parastack:", err)
 		os.Exit(2)
 	}
 
@@ -74,7 +71,7 @@ func main() {
 	start := time.Now()
 	rc := parastack.RunConfig{
 		Params:    params,
-		Platform:  parastack.PlatformByName(*platform),
+		Platform:  prof,
 		Seed:      *seed,
 		FaultKind: kind,
 		Monitor:   &parastack.MonitorConfig{Alpha: *alpha, InitialInterval: *initialI},

@@ -1,0 +1,168 @@
+// Command pssweep runs resumable experiment sweeps: it expands a grid
+// (workloads × platforms × fault kinds × seeds) into a deterministic
+// work-list, executes it on a bounded worker pool with per-run panic
+// recovery, and streams every result to a durable JSONL log. Killing a
+// sweep (Ctrl-C, SIGTERM, -halt-after, a crash) loses at most one
+// fsync batch of work; rerunning with -resume skips completed cells
+// and — because every run is seed-deterministic — yields bit-identical
+// aggregate metrics to an uninterrupted sweep.
+//
+// Usage:
+//
+//	pssweep -grid smoke -out smoke.jsonl            # tiny built-in grid
+//	pssweep -grid grid.json -out results.jsonl      # grid from a JSON Spec
+//	pssweep -grid grid.json -out results.jsonl -resume   # pick up where it stopped
+//	pssweep -grid paper -out paper.jsonl            # regenerate every paper table, resumably
+//
+// -workers bounds the pool (default GOMAXPROCS); -ctx-timeout bounds
+// wall time (the sweep stops cleanly and is resumable); -halt-after N
+// stops after N executed runs (the deterministic crash stand-in used
+// by `make sweep-smoke`); -retries bounds re-execution of panicking
+// runs. In -grid paper mode, -runs/-seed/-maxscale scale the campaigns
+// exactly as psbench does.
+//
+// See the "Running sweeps" section of README.md and the sweep
+// results-log entry of EXPERIMENTS.md for the grid and log schemas.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"parastack/internal/obs"
+	"parastack/internal/paper"
+	"parastack/internal/sweep"
+)
+
+func main() {
+	grid := flag.String("grid", "", `grid to run: "smoke", "paper", or a path to a JSON sweep spec`)
+	out := flag.String("out", "", "durable JSONL results-log path (required)")
+	resume := flag.Bool("resume", false, "resume: skip cells the results log already holds")
+	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	ctxTimeout := flag.Duration("ctx-timeout", 0, "overall wall-time bound (0 = none); the sweep stops cleanly and is resumable")
+	retries := flag.Int("retries", 0, "retries for a panicking run (0 = default 1, negative = none)")
+	haltAfter := flag.Int("halt-after", 0, "stop after N executed runs (crash stand-in for resume testing; 0 = unbounded)")
+	runs := flag.Int("runs", 0, "paper mode: runs per configuration (0 = small default)")
+	seed := flag.Int64("seed", 1, "paper mode: base random seed")
+	maxScale := flag.Int("maxscale", 4096, "paper mode: largest rank count for the scale study")
+	metrics := flag.Bool("metrics", false, "print sweep counter totals at the end")
+	flag.Parse()
+
+	if *grid == "" || *out == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *ctxTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *ctxTimeout)
+		defer cancel()
+	}
+
+	rec := obs.New(nil) // metrics-only; the pool serializes access
+	opts := sweep.Options{
+		Workers:  *workers,
+		Retries:  *retries,
+		Out:      *out,
+		Resume:   *resume,
+		MaxRuns:  *haltAfter,
+		Recorder: rec,
+		OnProgress: func(p sweep.Progress) {
+			fmt.Fprintf(os.Stderr, "pssweep: %d/%d done (%d executed, %d skipped, %d failed, %d retried)",
+				p.Done, p.Total, p.Executed, p.Skipped, p.Failed, p.Retried)
+			if p.ETA > 0 {
+				fmt.Fprintf(os.Stderr, " eta %v", p.ETA.Round(time.Second))
+			}
+			fmt.Fprintln(os.Stderr)
+		},
+	}
+
+	var err error
+	if *grid == "paper" {
+		err = runPaper(ctx, opts, paper.Options{Runs: *runs, Seed: *seed, MaxScale: *maxScale})
+	} else {
+		err = runGrid(ctx, *grid, opts)
+	}
+	if *metrics {
+		totals := obs.NewTotals()
+		totals.Add(rec.Snapshot())
+		fmt.Printf("sweep counters:\n")
+		for _, name := range totals.Names() {
+			fmt.Printf("  %-24s %d\n", name, totals.Counter(name))
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pssweep:", err)
+		os.Exit(1)
+	}
+}
+
+// runGrid executes a declared grid sweep and prints its summary.
+func runGrid(ctx context.Context, grid string, opts sweep.Options) error {
+	var spec sweep.Spec
+	var err error
+	switch grid {
+	case "smoke":
+		spec = sweep.SmokeSpec()
+	default:
+		if spec, err = sweep.LoadSpec(grid); err != nil {
+			return err
+		}
+	}
+
+	out, err := sweep.Run(ctx, spec, opts)
+	if err != nil && err != context.Canceled && err != context.DeadlineExceeded {
+		return err
+	}
+	interrupted := err != nil
+
+	fmt.Printf("sweep: %d/%d cells done (%d executed, %d skipped, %d failed, %d retried) in %v\n",
+		len(out.Records), out.Total, out.Executed, out.Skipped, out.Failed, out.Retried,
+		out.Elapsed.Round(time.Millisecond))
+	if out.Complete() {
+		m := out.Aggregate()
+		fmt.Printf("aggregate: runs=%d injected=%d detected=%d fp=%d accuracy=%.2f fprate=%.3f",
+			m.Runs, m.Injected, m.Detected, m.FalsePositives, m.Accuracy, m.FPRate)
+		if m.Delay.N > 0 {
+			fmt.Printf(" delay=%.2fs", m.Delay.Mean)
+		}
+		fmt.Println()
+	}
+	if interrupted || out.Halted {
+		fmt.Printf("sweep interrupted — rerun with -resume to finish (log: %s)\n", opts.Out)
+	}
+	return nil
+}
+
+// runPaper regenerates the full paper evaluation through a resumable
+// campaign orchestrator: every campaign run is streamed to the results
+// log and replayed from it on -resume, so one long regeneration can be
+// killed and picked up any number of times.
+func runPaper(ctx context.Context, opts sweep.Options, popt paper.Options) error {
+	orch, err := sweep.NewOrchestrator(ctx, opts)
+	if err != nil {
+		return err
+	}
+	popt.Campaign = orch.Campaign
+	paper.GenerateAll(os.Stdout, popt)
+	if err := orch.Close(); err != nil {
+		return err
+	}
+	if err := orch.Err(); err != nil {
+		return err
+	}
+	st := orch.Stats()
+	fmt.Printf("paper sweep: %d campaign runs (%d executed, %d replayed from log, %d failed)\n",
+		st.Total, st.Executed, st.Skipped, st.Failed)
+	if orch.Interrupted() {
+		fmt.Printf("regeneration interrupted — rerun with -resume to finish (log: %s)\n", opts.Out)
+	}
+	return nil
+}

@@ -15,6 +15,7 @@ package core
 import (
 	"time"
 
+	"parastack/internal/detect"
 	"parastack/internal/model"
 	"parastack/internal/mpi"
 	"parastack/internal/obs"
@@ -51,40 +52,22 @@ const (
 	EvPhase      = "phase"        // fields: phase
 )
 
-// HangType classifies a verified hang by the phase the error lives in.
-type HangType int
+// HangType classifies a verified hang by the phase the error lives in
+// (alias of the detector-neutral internal/detect type).
+type HangType = detect.HangType
 
 const (
 	// HangComputation means at least one process was persistently
 	// outside MPI: the error is in application code on those ranks.
-	HangComputation HangType = iota
+	HangComputation = detect.HangComputation
 	// HangCommunication means every process was stuck inside MPI.
-	HangCommunication
+	HangCommunication = detect.HangCommunication
 )
 
-// String implements fmt.Stringer.
-func (t HangType) String() string {
-	if t == HangComputation {
-		return "computation-error"
-	}
-	return "communication-error"
-}
-
-// Report is the outcome of a verified hang detection.
-type Report struct {
-	// DetectedAt is the virtual time of the verification.
-	DetectedAt time.Duration
-	// Type classifies the hang.
-	Type HangType
-	// FaultyRanks are the ranks persistently OUT_MPI (empty for a
-	// communication-error hang).
-	FaultyRanks []int
-	// Suspicions is the length of the consecutive-suspicion streak
-	// that triggered verification.
-	Suspicions int
-	// Q and Threshold document the model state at detection time.
-	Q, Threshold float64
-}
+// Report is the outcome of a verified hang detection. It is an alias of
+// detect.Report, the verdict type shared by every detector, which is
+// what lets Monitor satisfy detect.Detector with this very method set.
+type Report = detect.Report
 
 // Sample is one Scrout observation, retained for analysis and figures.
 type Sample struct {
@@ -280,6 +263,9 @@ func (m *Monitor) Interval() time.Duration { return m.I }
 
 // Report returns the hang report, or nil if no hang was verified.
 func (m *Monitor) Report() *Report { return m.report }
+
+// Name identifies the monitor as a detect.Detector.
+func (m *Monitor) Name() string { return "parastack" }
 
 // History returns retained samples, oldest first (empty unless
 // Config.KeepHistory). Once the ring buffer has wrapped, the result is

@@ -1,0 +1,64 @@
+package experiment
+
+import (
+	"time"
+
+	"parastack/internal/core"
+	"parastack/internal/detect"
+	"parastack/internal/mpi"
+	"parastack/internal/obs"
+	"parastack/internal/timeout"
+	"parastack/internal/topology"
+)
+
+// Detector is the uniform hang-detector surface (Start/Report/Name),
+// implemented by core.Monitor, timeout.FixedIK, and timeout.Watchdog.
+type Detector = detect.Detector
+
+// DetectorEnv is everything a DetectorFactory may attach a detector to:
+// the run's world and cluster layout, plus the run's recorder for
+// detectors that report metrics or events.
+type DetectorEnv struct {
+	World    *mpi.World
+	Cluster  *topology.Cluster
+	Recorder obs.Recorder
+}
+
+// DetectorFactory builds one detector against a run's environment. A
+// nil return skips the slot (so factories can be conditional).
+type DetectorFactory func(DetectorEnv) Detector
+
+// NamedReport pairs a detector's Name with its verdict (nil Report
+// means the detector never fired).
+type NamedReport struct {
+	Name   string
+	Report *detect.Report
+}
+
+// MonitorDetector adapts a ParaStack configuration into a
+// DetectorFactory, wiring the run's recorder in unless the config
+// brings its own.
+func MonitorDetector(cfg core.Config) DetectorFactory {
+	return func(env DetectorEnv) Detector {
+		if cfg.Recorder == nil {
+			cfg.Recorder = env.Recorder
+		}
+		return core.New(env.World, env.Cluster, cfg)
+	}
+}
+
+// TimeoutDetector adapts a fixed-(I,K) baseline configuration into a
+// DetectorFactory.
+func TimeoutDetector(cfg timeout.Config) DetectorFactory {
+	return func(env DetectorEnv) Detector {
+		return timeout.NewFixedIK(env.World, env.Cluster, cfg)
+	}
+}
+
+// WatchdogDetector adapts an activity-watchdog timeout into a
+// DetectorFactory.
+func WatchdogDetector(timeoutDur time.Duration) DetectorFactory {
+	return func(env DetectorEnv) Detector {
+		return timeout.NewWatchdog(env.World, timeoutDur)
+	}
+}

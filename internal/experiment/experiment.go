@@ -25,14 +25,15 @@ import (
 )
 
 // PPNFor returns the processes-per-node layout the paper used on each
-// platform (Tardis 8×32, Tianhe-2 64×16, Stampede 16 per node).
+// platform (Tardis 8×32, Tianhe-2 64×16, Stampede 16 per node). The
+// knowledge itself lives on noise.Profile.DefaultPPN; PPNFor remains as
+// a delegating convenience for name-keyed callers and keeps the
+// historical 16-per-node fallback for unknown platforms.
 func PPNFor(platform string) int {
-	switch platform {
-	case "tardis":
-		return 32
-	default:
-		return 16
+	if p, err := noise.Lookup(platform); err == nil && p.DefaultPPN > 0 {
+		return p.DefaultPPN
 	}
+	return 16
 }
 
 // RunConfig describes one simulated run.
@@ -41,7 +42,8 @@ type RunConfig struct {
 	Params workload.Params
 	// Platform is the timing profile (Tardis/Tianhe2/Stampede).
 	Platform noise.Profile
-	// PPN is processes per node (0 = PPNFor(Platform.Name)).
+	// PPN is processes per node (0 = Platform.DefaultPPN, falling back
+	// to PPNFor(Platform.Name) for profiles that never set one).
 	PPN int
 	// Seed drives all randomness in the run.
 	Seed int64
@@ -53,12 +55,27 @@ type RunConfig struct {
 	// the paper's discard rule (default 30s).
 	MinFaultTime time.Duration
 
-	// Monitor attaches ParaStack when non-nil.
+	// Monitor attaches ParaStack when non-nil. Monitor, Timeout, and
+	// Watchdog are the legacy hard-wired detector slots, kept working
+	// for compatibility (and still feeding RunResult.Report /
+	// RunResult.TimeoutReport); new code attaching detectors should
+	// prefer the uniform ExtraDetectors path.
 	Monitor *core.Config
-	// Timeout attaches the fixed-(I,K) baseline when non-nil.
+	// Timeout attaches the fixed-(I,K) baseline when non-nil (legacy
+	// slot; see Monitor).
 	Timeout *timeout.Config
-	// Watchdog attaches the activity watchdog when nonzero.
+	// Watchdog attaches the activity watchdog when nonzero (legacy
+	// slot; see Monitor).
 	Watchdog time.Duration
+
+	// ExtraDetectors attaches any number of additional detectors
+	// uniformly: each factory is invoked against the run's world just
+	// before launch, its detector is Started, and its verdict lands in
+	// RunResult.Extra under the detector's Name. Extra verdicts count
+	// toward Detected/FalsePositive only when no legacy detector
+	// reported (ParaStack first, then the fixed-(I,K) baseline, then
+	// the earliest extra report).
+	ExtraDetectors []DetectorFactory
 
 	// ProbeSout records the exact full-population Sout at this interval
 	// when nonzero (Figures 2 and 3).
@@ -105,6 +122,9 @@ type RunResult struct {
 	Report *core.Report
 	// TimeoutReport is the fixed-(I,K) baseline's verdict (nil if none).
 	TimeoutReport *timeout.Report
+	// Extra holds the verdicts of RunConfig.ExtraDetectors, in
+	// attachment order (a nil Report means that detector stayed quiet).
+	Extra []NamedReport
 
 	// Derived detector quality (for whichever detector was attached;
 	// ParaStack wins if both were).
@@ -138,7 +158,11 @@ func Run(rc RunConfig) RunResult {
 	procs := p.Procs
 	ppn := rc.PPN
 	if ppn == 0 {
-		ppn = PPNFor(rc.Platform.Name)
+		if rc.Platform.DefaultPPN > 0 {
+			ppn = rc.Platform.DefaultPPN
+		} else {
+			ppn = PPNFor(rc.Platform.Name)
+		}
 	}
 	if procs%ppn != 0 {
 		ppn = procs // degenerate single-node layout
@@ -199,6 +223,18 @@ func Run(rc RunConfig) RunResult {
 		wd = timeout.NewWatchdog(w, rc.Watchdog)
 		wd.Start()
 	}
+	var extras []Detector
+	for _, mk := range rc.ExtraDetectors {
+		if mk == nil {
+			continue
+		}
+		d := mk(DetectorEnv{World: w, Cluster: cluster, Recorder: rec})
+		if d == nil {
+			continue
+		}
+		d.Start()
+		extras = append(extras, d)
+	}
 	var soutPts *[]core.SoutPoint
 	if rc.ProbeSout > 0 {
 		soutPts = core.ProbeSout(w, rc.ProbeSout, 0)
@@ -228,6 +264,9 @@ func Run(rc RunConfig) RunResult {
 	if wd != nil && wd.Report() != nil && res.TimeoutReport == nil {
 		res.TimeoutReport = wd.Report()
 	}
+	for _, d := range extras {
+		res.Extra = append(res.Extra, NamedReport{Name: d.Name(), Report: d.Report()})
+	}
 	if soutPts != nil {
 		res.Sout = *soutPts
 	}
@@ -250,6 +289,12 @@ func Run(rc RunConfig) RunResult {
 		at, reported = res.Report.DetectedAt, true
 	case res.TimeoutReport != nil:
 		at, reported = res.TimeoutReport.DetectedAt, true
+	default:
+		for _, nr := range res.Extra {
+			if nr.Report != nil && (!reported || nr.Report.DetectedAt < at) {
+				at, reported = nr.Report.DetectedAt, true
+			}
+		}
 	}
 	if reported {
 		if res.Injected && at >= res.InjectedAt {

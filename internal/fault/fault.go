@@ -48,6 +48,24 @@ func (k Kind) String() string {
 	}
 }
 
+// Parse maps a fault-kind name to its Kind. It accepts both the String
+// forms ("computation-hang") and the short CLI spellings the commands
+// use ("computation", "node", "deadlock", "none").
+func Parse(name string) (Kind, error) {
+	switch name {
+	case "none", "":
+		return None, nil
+	case "computation", "computation-hang":
+		return ComputationHang, nil
+	case "node", "node-freeze":
+		return NodeFreeze, nil
+	case "deadlock", "communication-deadlock":
+		return CommunicationDeadlock, nil
+	default:
+		return None, fmt.Errorf("fault: unknown kind %q (have none, computation, node, deadlock)", name)
+	}
+}
+
 // deadTag is a message tag no workload uses; a receive on it from the
 // rank itself can never complete.
 const deadTag = 0x7fffffff

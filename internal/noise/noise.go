@@ -7,6 +7,7 @@
 package noise
 
 import (
+	"fmt"
 	"math/rand"
 	"time"
 
@@ -17,6 +18,11 @@ import (
 type Profile struct {
 	// Name identifies the platform ("tardis", "tianhe2", "stampede").
 	Name string
+	// DefaultPPN is the processes-per-node layout the paper used on the
+	// platform (Tardis 8×32, Tianhe-2 64×16, Stampede 16 per node); it
+	// is what harness runs use when RunConfig.PPN is zero. Zero falls
+	// back to 16.
+	DefaultPPN int
 	// Speed divides every computation interval: >1 is a faster machine.
 	Speed float64
 	// CommSpeed scales the interconnect relative to the default latency
@@ -45,6 +51,7 @@ type Profile struct {
 func Tardis() Profile {
 	return Profile{
 		Name:          "tardis",
+		DefaultPPN:    32,
 		Speed:         1.0,
 		CommSpeed:     0.10,
 		Jitter:        0.03,
@@ -62,6 +69,7 @@ func Tardis() Profile {
 func Tianhe2() Profile {
 	return Profile{
 		Name:           "tianhe2",
+		DefaultPPN:     16,
 		Speed:          1.25,
 		CommSpeed:      0.90,
 		Jitter:         0.02,
@@ -78,6 +86,7 @@ func Tianhe2() Profile {
 func Stampede() Profile {
 	return Profile{
 		Name:           "stampede",
+		DefaultPPN:     16,
 		Speed:          1.1,
 		CommSpeed:      0.50,
 		Jitter:         0.06,
@@ -89,18 +98,34 @@ func Stampede() Profile {
 	}
 }
 
-// ByName returns the named profile; it panics on an unknown name.
-func ByName(name string) Profile {
+// Lookup returns the named profile, or an error naming the valid
+// platforms on an unknown name.
+func Lookup(name string) (Profile, error) {
 	switch name {
 	case "tardis":
-		return Tardis()
+		return Tardis(), nil
 	case "tianhe2":
-		return Tianhe2()
+		return Tianhe2(), nil
 	case "stampede":
-		return Stampede()
+		return Stampede(), nil
 	default:
-		panic("noise: unknown platform " + name)
+		return Profile{}, fmt.Errorf("noise: unknown platform %q (have %v)", name, Names())
 	}
+}
+
+// Names lists the known platform names.
+func Names() []string { return []string{"tardis", "tianhe2", "stampede"} }
+
+// ByName returns the named profile; it panics on an unknown name.
+//
+// Deprecated: use Lookup, which reports unknown names as an error
+// instead of a stack trace.
+func ByName(name string) Profile {
+	p, err := Lookup(name)
+	if err != nil {
+		panic(err)
+	}
+	return p
 }
 
 // Latency returns the platform's point-to-point and collective latency

@@ -58,13 +58,13 @@ func AccuracyCampaign(platform string, scale int, opt Options) []AccuracyCell {
 	var cells []AccuracyCell
 	for bi, b := range accuracyBenches(platform, scale) {
 		params := workload.MustLookup(b.name, b.class, scale)
-		rs := experiment.Campaign(opt.attach(experiment.RunConfig{
+		rs := opt.campaign(experiment.RunConfig{
 			Params:    params,
 			Platform:  prof,
 			PPN:       ppn,
 			FaultKind: fault.ComputationHang,
 			Monitor:   &core.Config{},
-		}), opt.Runs, opt.Seed+int64(bi*10000))
+		}, opt.Runs, opt.Seed+int64(bi*10000))
 		est := params.EstimatedDuration()
 		if prof.Speed > 0 {
 			est = time.Duration(float64(est) / prof.Speed)
@@ -171,12 +171,12 @@ func FalsePositiveStudy(w io.Writer, opt Options) (totalRuns, falsePositives int
 		prof, ppn := platformWorld(c.platform, c.scale)
 		for bi, b := range accuracyBenches(c.platform, c.scale) {
 			params := workload.MustLookup(b.name, b.class, c.scale)
-			rs := experiment.Campaign(opt.attach(experiment.RunConfig{
+			rs := opt.campaign(experiment.RunConfig{
 				Params:   params,
 				Platform: prof,
 				PPN:      ppn,
 				Monitor:  &core.Config{},
-			}), opt.Runs, opt.Seed+int64(bi*1000)+777)
+			}, opt.Runs, opt.Seed+int64(bi*1000)+777)
 			for _, r := range rs {
 				totalRuns++
 				simulated += r.FinishedAt
@@ -221,13 +221,13 @@ func Table9(w io.Writer, opt Options) []Table9Row {
 		prof, ppn := platformWorld(c.Platform, 256)
 		params := workload.MustLookup(c.Bench, c.Class, 256)
 		run := func(initial time.Duration, off int64) experiment.Metrics {
-			rs := experiment.Campaign(opt.attach(experiment.RunConfig{
+			rs := opt.campaign(experiment.RunConfig{
 				Params:    params,
 				Platform:  prof,
 				PPN:       ppn,
 				FaultKind: fault.ComputationHang,
 				Monitor:   &core.Config{InitialInterval: initial},
-			}), opt.Runs, opt.Seed+int64(ci*1000)+off)
+			}, opt.Runs, opt.Seed+int64(ci*1000)+off)
 			return experiment.Aggregate(rs)
 		}
 		row := Table9Row{Platform: c.Platform, Bench: c.Bench, Class: c.Class,
@@ -257,13 +257,13 @@ func ScaleStudy(w io.Writer, opt Options) []AccuracyCell {
 		}
 		prof, ppn := platformWorld(platform, scale)
 		params := workload.MustLookup(bench, class, scale)
-		rs := experiment.Campaign(opt.attach(experiment.RunConfig{
+		rs := opt.campaign(experiment.RunConfig{
 			Params:    params,
 			Platform:  prof,
 			PPN:       ppn,
 			FaultKind: fault.ComputationHang,
 			Monitor:   &core.Config{},
-		}), runs, opt.Seed+seedOff)
+		}, runs, opt.Seed+seedOff)
 		m := experiment.Aggregate(rs)
 		cells = append(cells, AccuracyCell{Platform: platform, Bench: bench, Class: class, Scale: scale, Metrics: m, Results: rs})
 		fmt.Fprintf(w, "  %-4s@%-6d ACh %s  D %5.1f±%4.1fs  ACf %s PRf %s\n",

@@ -45,6 +45,23 @@ type Options struct {
 	// Stats, when non-nil, accumulates counter totals across every run
 	// of every campaign (psbench -metrics).
 	Stats *obs.Totals
+	// Campaign, when non-nil, replaces experiment.Campaign as the
+	// engine behind every generator — the seam through which
+	// sweep.Orchestrator.Campaign makes paper regeneration resumable
+	// (cmd/pssweep -grid paper). The contract matches
+	// experiment.Campaign: n seeds of base, results in seed order.
+	Campaign func(base experiment.RunConfig, n int, seed0 int64) []experiment.RunResult
+}
+
+// campaign routes one campaign through Options.Campaign (or the
+// default in-memory experiment.Campaign), threading the observability
+// options in.
+func (o Options) campaign(rc experiment.RunConfig, n int, seed0 int64) []experiment.RunResult {
+	rc = o.attach(rc)
+	if o.Campaign != nil {
+		return o.Campaign(rc, n, seed0)
+	}
+	return experiment.Campaign(rc, n, seed0)
 }
 
 // attach threads the observability options into one run configuration.
@@ -70,7 +87,8 @@ func (o Options) withDefaults(defRuns int) Options {
 // platformScale returns the rank count and noise profile for a named
 // platform the way the paper allocates them.
 func platformWorld(name string, procs int) (noise.Profile, int) {
-	return noise.ByName(name), experiment.PPNFor(name)
+	prof := noise.ByName(name)
+	return prof, prof.DefaultPPN
 }
 
 // fmtAC renders an accuracy/rate as the paper does (1.0, 0.9, 0.0).
@@ -126,13 +144,13 @@ func Table1(w io.Writer, opt Options) []Table1Row {
 		for ci, c := range Table1Configs {
 			prof, ppn := platformWorld(c.Platform, 256)
 			params := workload.MustLookup(c.Bench, c.Class, 256)
-			rs := experiment.Campaign(opt.attach(experiment.RunConfig{
+			rs := opt.campaign(experiment.RunConfig{
 				Params:    params,
 				Platform:  prof,
 				PPN:       ppn,
 				FaultKind: fault.ComputationHang,
 				Timeout:   &timeout.Config{C: 10, Interval: ik.I, K: ik.K},
-			}), opt.Runs, opt.Seed+int64(ci*1000))
+			}, opt.Runs, opt.Seed+int64(ci*1000))
 			row.Metrics = append(row.Metrics, experiment.Aggregate(rs))
 		}
 		rows = append(rows, row)
@@ -241,12 +259,12 @@ func perfTable(w io.Writer, title, platform string, scale int, benches []struct{
 		params := workload.MustLookup(b.name, b.class, scale)
 		fmt.Fprintf(w, "%-8s", b.name)
 		for si, s := range settings {
-			rs := experiment.Campaign(opt.attach(experiment.RunConfig{
+			rs := opt.campaign(experiment.RunConfig{
 				Params:   params,
 				Platform: prof,
 				PPN:      ppn,
 				Monitor:  s.mon,
-			}), opt.Runs, opt.Seed+int64(bi*100+si*10))
+			}, opt.Runs, opt.Seed+int64(bi*100+si*10))
 			var secs []float64
 			for _, r := range rs {
 				if r.Completed {
@@ -377,4 +395,34 @@ func runTraced(params workload.Params, traceEvery time.Duration, seed int64) tra
 	w.Launch(params.Body(nil))
 	eng.Run(0)
 	return tracedResult{secs: time.Duration(w.FinishedAt()).Seconds(), n: n}
+}
+
+// GenerateAll regenerates every table and study — the psbench -all
+// superset — through one Options value, so a single resumable command
+// (cmd/pssweep -grid paper) can rebuild the whole evaluation: routed
+// through Options.Campaign, every campaign run lands in the sweep's
+// durable log and an interrupted regeneration picks up where it
+// stopped.
+func GenerateAll(w io.Writer, opt Options) {
+	Table1(w, opt)
+	fmt.Fprintln(w)
+	Table3(w, opt)
+	fmt.Fprintln(w)
+	Table4(w, opt)
+	fmt.Fprintln(w)
+	Table5(w, opt)
+	fmt.Fprintln(w)
+	campaigns := Table6(w, opt)
+	fmt.Fprintln(w)
+	Table7(w, campaigns, opt)
+	fmt.Fprintln(w)
+	Table8(w, campaigns, opt)
+	fmt.Fprintln(w)
+	Table9(w, opt)
+	fmt.Fprintln(w)
+	Table10(w, campaigns, opt)
+	fmt.Fprintln(w)
+	FalsePositiveStudy(w, opt)
+	fmt.Fprintln(w)
+	ScaleStudy(w, opt)
 }

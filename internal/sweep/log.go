@@ -1,0 +1,192 @@
+package sweep
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"parastack/internal/experiment"
+)
+
+// SchemaVersion tags every results-log record; Load rejects logs
+// written by an incompatible schema. The record format is one JSON
+// object per line (see Record and the EXPERIMENTS.md "Sweep results
+// log" entry for the field-by-field schema).
+const SchemaVersion = "parastack-sweep/v1"
+
+// Terminal record statuses.
+const (
+	// StatusOK marks a run that completed (its Result field is set).
+	StatusOK = "ok"
+	// StatusFailed marks a run that panicked on every attempt; Error
+	// holds the last panic message. Failed cells are terminal: resume
+	// does not re-execute them (runs are deterministic, so they would
+	// fail again).
+	StatusFailed = "failed"
+)
+
+// Record is one line of the results log: the terminal outcome of one
+// cell. A sweep appends exactly one record per executed cell; on
+// resume, the last record for a key wins.
+type Record struct {
+	// Schema is SchemaVersion.
+	Schema string `json:"schema"`
+	// Key is the cell's stable identity (Cell.Key, or the campaign
+	// fingerprint key for orchestrated campaigns).
+	Key string `json:"key"`
+	// Index is the cell's position in the expansion order; results are
+	// re-assembled in index order so aggregation is order-stable.
+	Index int `json:"index"`
+	// Status is StatusOK or StatusFailed.
+	Status string `json:"status"`
+	// Attempts is how many executions the cell took (retries included).
+	Attempts int `json:"attempts"`
+	// Error is the last panic message of a failed cell.
+	Error string `json:"error,omitempty"`
+	// Result is the run's full outcome (StatusOK only).
+	Result *experiment.RunResult `json:"result,omitempty"`
+}
+
+// Log is the durable JSONL results writer. Records are buffered and
+// fsync'd in batches (every SyncEvery records and on Close), bounding
+// both the syscall rate and the amount of work a crash can lose. Write
+// is safe for concurrent use by a sweep's workers.
+type Log struct {
+	mu        sync.Mutex
+	f         *os.File
+	bw        *bufio.Writer
+	sinceSync int
+	every     int
+}
+
+// defaultSyncEvery is the fsync batch size when Options leave it zero.
+const defaultSyncEvery = 16
+
+func openLog(path string, truncate bool, syncEvery int) (*Log, error) {
+	if syncEvery <= 0 {
+		syncEvery = defaultSyncEvery
+	}
+	flags := os.O_CREATE | os.O_WRONLY
+	if truncate {
+		flags |= os.O_TRUNC
+	} else {
+		flags |= os.O_APPEND
+	}
+	f, err := os.OpenFile(path, flags, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &Log{f: f, bw: bufio.NewWriter(f), every: syncEvery}, nil
+}
+
+// CreateLog opens (truncating) a fresh results log at path.
+func CreateLog(path string, syncEvery int) (*Log, error) {
+	return openLog(path, true, syncEvery)
+}
+
+// AppendLog opens path for appending (the resume path), creating it if
+// absent.
+func AppendLog(path string, syncEvery int) (*Log, error) {
+	return openLog(path, false, syncEvery)
+}
+
+// Write appends one record and fsyncs if the batch is due.
+func (l *Log) Write(rec Record) error {
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, err := l.bw.Write(data); err != nil {
+		return err
+	}
+	if err := l.bw.WriteByte('\n'); err != nil {
+		return err
+	}
+	l.sinceSync++
+	if l.sinceSync >= l.every {
+		l.sinceSync = 0
+		if err := l.bw.Flush(); err != nil {
+			return err
+		}
+		return l.f.Sync()
+	}
+	return nil
+}
+
+// Close flushes, fsyncs, and closes the log file.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	flushErr := l.bw.Flush()
+	syncErr := l.f.Sync()
+	closeErr := l.f.Close()
+	if flushErr != nil {
+		return flushErr
+	}
+	if syncErr != nil {
+		return syncErr
+	}
+	return closeErr
+}
+
+// Load reads every record of a results log. A truncated final line
+// (the signature of a hard kill mid-write) is tolerated and dropped;
+// any other malformed or schema-mismatched line is an error, so silent
+// corruption cannot masquerade as completed work.
+func Load(path string) ([]Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []Record
+	r := bufio.NewReader(f)
+	line := 0
+	for {
+		data, err := r.ReadBytes('\n')
+		complete := err == nil
+		if len(bytes.TrimSpace(data)) > 0 {
+			line++
+			var rec Record
+			if uerr := json.Unmarshal(data, &rec); uerr != nil {
+				if !complete {
+					break // torn tail from a crash: resumable, drop it
+				}
+				return nil, fmt.Errorf("sweep: %s line %d: %w", path, line, uerr)
+			}
+			if rec.Schema != SchemaVersion {
+				return nil, fmt.Errorf("sweep: %s line %d: schema %q, want %q", path, line, rec.Schema, SchemaVersion)
+			}
+			out = append(out, rec)
+		}
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// loadPrior builds the resume index: last terminal record per key.
+func loadPrior(path string) (map[string]Record, error) {
+	recs, err := Load(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return map[string]Record{}, nil
+		}
+		return nil, err
+	}
+	prior := make(map[string]Record, len(recs))
+	for _, r := range recs {
+		prior[r.Key] = r
+	}
+	return prior, nil
+}

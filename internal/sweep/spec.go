@@ -1,0 +1,222 @@
+// Package sweep is the resumable, fault-tolerant campaign orchestrator
+// behind the paper's evaluation at scale: it expands a grid Spec
+// (workloads × platforms × fault kinds × seeds) into a deterministic
+// work-list of cells, executes them on a bounded worker pool with
+// per-run panic recovery and bounded retry, streams every result to a
+// durable schema-versioned JSONL log, and can resume an interrupted
+// sweep by skipping the cells the log already holds.
+//
+// Determinism is the load-bearing property: each cell's run owns its
+// engine and derives all randomness from the cell's seed, so killing a
+// sweep mid-grid and resuming yields bit-identical aggregate metrics to
+// an uninterrupted sweep. Results are always assembled in cell-index
+// order regardless of worker scheduling, which keeps floating-point
+// aggregation order-stable too.
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"parastack/internal/core"
+	"parastack/internal/experiment"
+	"parastack/internal/fault"
+	"parastack/internal/noise"
+	"parastack/internal/timeout"
+	"parastack/internal/workload"
+)
+
+// DetectorSpec selects which detector(s) a sweep attaches to every run.
+// The zero value attaches none (a clean observation sweep, e.g. for
+// false-positive studies).
+type DetectorSpec struct {
+	// Monitor attaches ParaStack with the paper's defaults.
+	Monitor bool `json:"monitor"`
+	// Alpha overrides the hang-test significance level (0 = default
+	// 0.001); only meaningful with Monitor.
+	Alpha float64 `json:"alpha,omitempty"`
+	// IntervalMS overrides ParaStack's initial sampling interval I0 in
+	// milliseconds (0 = default 400).
+	IntervalMS int `json:"interval_ms,omitempty"`
+	// TimeoutK attaches the fixed-(I,K) baseline when > 0, with
+	// TimeoutIntervalMS as I (0 = the baseline's 400ms default).
+	TimeoutK          int `json:"timeout_k,omitempty"`
+	TimeoutIntervalMS int `json:"timeout_interval_ms,omitempty"`
+	// WatchdogSec attaches the activity watchdog when > 0.
+	WatchdogSec float64 `json:"watchdog_sec,omitempty"`
+}
+
+// Spec declares a sweep grid. It is JSON-serializable so grids can live
+// in files (cmd/pssweep -grid FILE); string-keyed fields (platforms,
+// faults) are validated against the live registries at expansion time.
+type Spec struct {
+	// Workloads are the benchmark configurations to sweep.
+	Workloads []workload.Spec `json:"workloads"`
+	// Platforms are noise-profile names ("tardis", "tianhe2",
+	// "stampede").
+	Platforms []string `json:"platforms"`
+	// Faults are fault-kind names understood by fault.Parse ("none",
+	// "computation", "node", "deadlock").
+	Faults []string `json:"faults"`
+	// Seeds is how many seeds each (workload, platform, fault) point
+	// runs: Seed0, Seed0+1, … (default 1).
+	Seeds int `json:"seeds"`
+	// Seed0 is the first seed (default 1).
+	Seed0 int64 `json:"seed0,omitempty"`
+	// Detector configures the detector(s) attached to every run.
+	Detector DetectorSpec `json:"detector"`
+	// MinFaultSec overrides RunConfig.MinFaultTime, in seconds.
+	MinFaultSec float64 `json:"min_fault_sec,omitempty"`
+	// WallLimitSec overrides RunConfig.WallLimit, in seconds.
+	WallLimitSec float64 `json:"wall_limit_sec,omitempty"`
+}
+
+// Cell is one point of an expanded grid: a fully determined run
+// identity. Index is the cell's position in the deterministic
+// expansion order (workloads, then platforms, faults, seeds).
+type Cell struct {
+	Index    int
+	Workload workload.Spec
+	Platform string
+	Fault    fault.Kind
+	Seed     int64
+}
+
+// Key is the cell's stable identity in the results log: resume matches
+// completed cells by this string, never by index, so reordering a grid
+// cannot mis-attribute results.
+func (c Cell) Key() string {
+	return fmt.Sprintf("%s|%s|%s|seed=%d", c.Workload, c.Platform, c.Fault, c.Seed)
+}
+
+func (s Spec) withDefaults() Spec {
+	if s.Seeds == 0 {
+		s.Seeds = 1
+	}
+	if s.Seed0 == 0 {
+		s.Seed0 = 1
+	}
+	return s
+}
+
+// Cells expands the grid into its deterministic work-list, validating
+// every axis value (unknown platforms, fault kinds, or uncalibrated
+// workloads are reported as errors up front, not as mid-sweep panics).
+func (s Spec) Cells() ([]Cell, error) {
+	s = s.withDefaults()
+	if len(s.Workloads) == 0 || len(s.Platforms) == 0 {
+		return nil, fmt.Errorf("sweep: spec needs at least one workload and one platform")
+	}
+	faults := s.Faults
+	if len(faults) == 0 {
+		faults = []string{"none"}
+	}
+	for _, w := range s.Workloads {
+		if _, err := workload.Lookup(w.Name, w.Class, w.Procs); err != nil {
+			return nil, fmt.Errorf("sweep: %w", err)
+		}
+	}
+	for _, p := range s.Platforms {
+		if _, err := noise.Lookup(p); err != nil {
+			return nil, fmt.Errorf("sweep: %w", err)
+		}
+	}
+	kinds := make([]fault.Kind, len(faults))
+	for i, f := range faults {
+		k, err := fault.Parse(f)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: %w", err)
+		}
+		kinds[i] = k
+	}
+	cells := make([]Cell, 0, len(s.Workloads)*len(s.Platforms)*len(kinds)*s.Seeds)
+	for _, w := range s.Workloads {
+		for _, p := range s.Platforms {
+			for _, k := range kinds {
+				for i := 0; i < s.Seeds; i++ {
+					cells = append(cells, Cell{
+						Index:    len(cells),
+						Workload: w,
+						Platform: p,
+						Fault:    k,
+						Seed:     s.Seed0 + int64(i),
+					})
+				}
+			}
+		}
+	}
+	return cells, nil
+}
+
+// RunConfig materializes one cell into the harness run configuration
+// that executes it.
+func (s Spec) RunConfig(c Cell) (experiment.RunConfig, error) {
+	params, err := workload.Lookup(c.Workload.Name, c.Workload.Class, c.Workload.Procs)
+	if err != nil {
+		return experiment.RunConfig{}, fmt.Errorf("sweep: %w", err)
+	}
+	prof, err := noise.Lookup(c.Platform)
+	if err != nil {
+		return experiment.RunConfig{}, fmt.Errorf("sweep: %w", err)
+	}
+	rc := experiment.RunConfig{
+		Params:    params,
+		Platform:  prof,
+		Seed:      c.Seed,
+		FaultKind: c.Fault,
+	}
+	if s.MinFaultSec > 0 {
+		rc.MinFaultTime = time.Duration(s.MinFaultSec * float64(time.Second))
+	}
+	if s.WallLimitSec > 0 {
+		rc.WallLimit = time.Duration(s.WallLimitSec * float64(time.Second))
+	}
+	d := s.Detector
+	if d.Monitor {
+		rc.Monitor = &core.Config{
+			Alpha:           d.Alpha,
+			InitialInterval: time.Duration(d.IntervalMS) * time.Millisecond,
+		}
+	}
+	if d.TimeoutK > 0 {
+		rc.Timeout = &timeout.Config{
+			Interval: time.Duration(d.TimeoutIntervalMS) * time.Millisecond,
+			K:        d.TimeoutK,
+		}
+	}
+	if d.WatchdogSec > 0 {
+		rc.Watchdog = time.Duration(d.WatchdogSec * float64(time.Second))
+	}
+	return rc, nil
+}
+
+// LoadSpec reads a JSON Spec from path.
+func LoadSpec(path string) (Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Spec{}, err
+	}
+	var s Spec
+	if err := json.Unmarshal(data, &s); err != nil {
+		return Spec{}, fmt.Errorf("sweep: parsing %s: %w", path, err)
+	}
+	return s, nil
+}
+
+// SmokeSpec is the tiny 2 workloads × 2 seeds grid behind `make
+// sweep-smoke`: small enough to finish in seconds, large enough to
+// exercise kill-and-resume.
+func SmokeSpec() Spec {
+	return Spec{
+		Workloads: []workload.Spec{
+			{Name: "CG", Class: "D", Procs: 64},
+			{Name: "LU", Class: "D", Procs: 64},
+		},
+		Platforms: []string{"tardis"},
+		Faults:    []string{"computation"},
+		Seeds:     2,
+		Detector:  DetectorSpec{Monitor: true},
+	}
+}

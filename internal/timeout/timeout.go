@@ -7,16 +7,19 @@ package timeout
 import (
 	"time"
 
+	"parastack/internal/detect"
 	"parastack/internal/mpi"
 	"parastack/internal/sim"
 	"parastack/internal/stack"
 	"parastack/internal/topology"
 )
 
-// Report is a baseline detector's verdict.
-type Report struct {
-	DetectedAt time.Duration
-}
+// Report is a baseline detector's verdict: an alias of the shared
+// detect.Report (the baselines fill only DetectedAt — they cannot
+// classify a hang or identify faulty processes). The alias is what lets
+// FixedIK and Watchdog satisfy detect.Detector with their existing
+// Report methods.
+type Report = detect.Report
 
 // Config tunes the fixed-(I, K) detector.
 type Config struct {
@@ -61,6 +64,9 @@ func NewFixedIK(w *mpi.World, cluster *topology.Cluster, cfg Config) *FixedIK {
 
 // Report returns the verdict, nil if no hang was reported.
 func (d *FixedIK) Report() *Report { return d.report }
+
+// Name identifies the detector as a detect.Detector.
+func (d *FixedIK) Name() string { return "fixed-ik" }
 
 // Start spawns the detector process.
 func (d *FixedIK) Start() {
@@ -122,6 +128,9 @@ func NewWatchdog(w *mpi.World, timeout time.Duration) *Watchdog {
 
 // Report returns the verdict, nil if none.
 func (d *Watchdog) Report() *Report { return d.report }
+
+// Name identifies the watchdog as a detect.Detector.
+func (d *Watchdog) Name() string { return "watchdog" }
 
 // Start spawns the watchdog process; it samples 8 times per window.
 func (d *Watchdog) Start() {

@@ -41,11 +41,13 @@
 package parastack
 
 import (
+	"context"
 	"io"
 	"math/rand"
 	"time"
 
 	"parastack/internal/core"
+	"parastack/internal/detect"
 	"parastack/internal/experiment"
 	"parastack/internal/fault"
 	"parastack/internal/mpi"
@@ -54,6 +56,7 @@ import (
 	"parastack/internal/sched"
 	"parastack/internal/sim"
 	"parastack/internal/stack"
+	"parastack/internal/sweep"
 	"parastack/internal/timeout"
 	"parastack/internal/topology"
 	"parastack/internal/workload"
@@ -100,6 +103,24 @@ type (
 const (
 	HangComputation   = core.HangComputation
 	HangCommunication = core.HangCommunication
+)
+
+// Detector interface: the contract every hang detector — the ParaStack
+// Monitor and both baselines — satisfies.
+type (
+	// Detector is the unifying detector interface: Start begins
+	// monitoring, Report returns the verified hang report (nil while
+	// none), Name identifies the detector in results.
+	Detector = detect.Detector
+	// DetectorEnv is what a DetectorFactory gets to build against: the
+	// run's world, cluster topology, and recorder.
+	DetectorEnv = experiment.DetectorEnv
+	// DetectorFactory builds one Detector per run; attach via
+	// RunConfig.ExtraDetectors.
+	DetectorFactory = experiment.DetectorFactory
+	// NamedReport pairs a detector's Name with its final Report in
+	// RunResult.Extra.
+	NamedReport = experiment.NamedReport
 )
 
 // Fault injection.
@@ -222,9 +243,22 @@ func Tianhe2() Profile { return noise.Tianhe2() }
 // Stampede returns the Stampede platform profile.
 func Stampede() Profile { return noise.Stampede() }
 
-// PlatformByName returns a named profile ("tardis", "tianhe2",
-// "stampede"); it panics on unknown names.
+// LookupPlatform returns a named profile ("tardis", "tianhe2",
+// "stampede"), or an error naming the known platforms.
+func LookupPlatform(name string) (Profile, error) { return noise.Lookup(name) }
+
+// PlatformNames lists the known platform profiles.
+func PlatformNames() []string { return noise.Names() }
+
+// PlatformByName returns a named profile.
+//
+// Deprecated: use LookupPlatform, which returns an error instead of
+// panicking on unknown names.
 func PlatformByName(name string) Profile { return noise.ByName(name) }
+
+// ParseFaultKind parses a fault-kind name ("none", "computation",
+// "node", "deadlock").
+func ParseFaultKind(name string) (FaultKind, error) { return fault.Parse(name) }
 
 // LookupWorkload returns a calibrated benchmark configuration.
 func LookupWorkload(name, class string, procs int) (WorkloadParams, error) {
@@ -280,3 +314,72 @@ func OpenJSONLTrace(path string) (*JSONLSink, error) { return obs.OpenJSONL(path
 
 // NewMetricTotals returns an empty cross-run counter aggregator.
 func NewMetricTotals() *MetricTotals { return obs.NewTotals() }
+
+// MonitorDetectorFactory returns a factory attaching ParaStack with
+// cfg through RunConfig.ExtraDetectors.
+func MonitorDetectorFactory(cfg MonitorConfig) DetectorFactory {
+	return experiment.MonitorDetector(cfg)
+}
+
+// TimeoutDetectorFactory returns a factory attaching the fixed-(I,K)
+// baseline with cfg through RunConfig.ExtraDetectors.
+func TimeoutDetectorFactory(cfg TimeoutConfig) DetectorFactory {
+	return experiment.TimeoutDetector(cfg)
+}
+
+// WatchdogDetectorFactory returns a factory attaching the activity
+// watchdog through RunConfig.ExtraDetectors.
+func WatchdogDetectorFactory(timeoutDur time.Duration) DetectorFactory {
+	return experiment.WatchdogDetector(timeoutDur)
+}
+
+// Sweeps: the resumable campaign orchestrator (package internal/sweep,
+// command cmd/pssweep).
+type (
+	// SweepSpec declares a sweep grid (workloads × platforms × faults ×
+	// seeds); JSON-serializable for cmd/pssweep -grid FILE.
+	SweepSpec = sweep.Spec
+	// SweepDetectorSpec selects the detector(s) a sweep attaches.
+	SweepDetectorSpec = sweep.DetectorSpec
+	// SweepCell is one fully determined point of an expanded grid.
+	SweepCell = sweep.Cell
+	// SweepRecord is one line of the durable JSONL results log.
+	SweepRecord = sweep.Record
+	// SweepOptions tunes a sweep (workers, retries, log, resume).
+	SweepOptions = sweep.Options
+	// SweepOutcome is what a sweep leaves behind in memory.
+	SweepOutcome = sweep.Outcome
+	// SweepProgress is a point-in-time progress view.
+	SweepProgress = sweep.Progress
+	// SweepOrchestrator drives ad-hoc campaigns through the sweep
+	// machinery (resume, durability, bounded workers).
+	SweepOrchestrator = sweep.Orchestrator
+)
+
+// RunSweep executes a sweep over spec's grid; cancelling ctx stops it
+// cleanly and resumably.
+func RunSweep(ctx context.Context, spec SweepSpec, opts SweepOptions) (*SweepOutcome, error) {
+	return sweep.Run(ctx, spec, opts)
+}
+
+// ResumeSweep re-runs spec against the results log at path, skipping
+// every cell the log already holds.
+func ResumeSweep(ctx context.Context, path string, spec SweepSpec, opts SweepOptions) (*SweepOutcome, error) {
+	return sweep.Resume(ctx, path, spec, opts)
+}
+
+// LoadSweepLog reads every record of a sweep results log.
+func LoadSweepLog(path string) ([]SweepRecord, error) { return sweep.Load(path) }
+
+// LoadSweepSpec reads a JSON SweepSpec from path.
+func LoadSweepSpec(path string) (SweepSpec, error) { return sweep.LoadSpec(path) }
+
+// SmokeSweepSpec is the tiny grid behind `make sweep-smoke`.
+func SmokeSweepSpec() SweepSpec { return sweep.SmokeSpec() }
+
+// NewSweepOrchestrator opens (or resumes) a results log and returns an
+// orchestrator whose Campaign method is a durable, resumable drop-in
+// for Campaign.
+func NewSweepOrchestrator(ctx context.Context, opts SweepOptions) (*SweepOrchestrator, error) {
+	return sweep.NewOrchestrator(ctx, opts)
+}
