@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race fmt-check bench bench-json bench-smoke sweep-smoke ci
+.PHONY: all build test vet race fmt-check bench bench-json bench-smoke sweep-smoke fuzz-smoke chaos-smoke ci
 
 all: build test
 
@@ -49,5 +49,17 @@ sweep-smoke:
 	$(GO) run ./cmd/pssweep -grid smoke -out $(SWEEP_SMOKE_LOG) -resume
 	@rm -f $(SWEEP_SMOKE_LOG)
 
+# Short fuzz of the results-log reader: corrupted/torn JSONL must never
+# panic Load or sneak past its schema check (fixed seed corpus + 5s of
+# mutation).
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz=FuzzLoad -fuzztime=5s ./internal/sweep
+
+# Chaos smoke: a short clean campaign under the aggressive "heavy"
+# chaos profile, under the race detector, asserting zero false
+# positives — the detector's own failures must never read as hangs.
+chaos-smoke:
+	$(GO) test -race -run 'TestChaosSmoke$$' -count=1 -v ./internal/chaos
+
 # The gate PRs must pass.
-ci: fmt-check vet build race bench-smoke sweep-smoke
+ci: fmt-check vet build race bench-smoke sweep-smoke fuzz-smoke chaos-smoke

@@ -32,6 +32,7 @@ func main() {
 	procs := flag.Int("procs", 256, "number of MPI ranks")
 	platform := flag.String("platform", "tardis", "platform: tardis tianhe2 stampede")
 	faultKind := flag.String("fault", "computation", "fault: none computation node deadlock")
+	chaosName := flag.String("chaos", "none", "detector-chaos profile: none light probe-loss stale rank-death jitter monitor-crash heavy blackout")
 	seed := flag.Int64("seed", 1, "random seed")
 	alpha := flag.Float64("alpha", 0.001, "hang-test significance level (the one user-tunable)")
 	initialI := flag.Duration("interval", 400*time.Millisecond, "initial sampling interval I0")
@@ -57,6 +58,12 @@ func main() {
 		os.Exit(2)
 	}
 
+	chProf, err := parastack.ParseChaosProfile(*chaosName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "parastack:", err)
+		os.Exit(2)
+	}
+
 	var trace *parastack.JSONLSink
 	if *traceFile != "" {
 		trace, err = parastack.OpenJSONLTrace(*traceFile)
@@ -74,7 +81,11 @@ func main() {
 		Platform:  prof,
 		Seed:      *seed,
 		FaultKind: kind,
+		Chaos:     chProf,
 		Monitor:   &parastack.MonitorConfig{Alpha: *alpha, InitialInterval: *initialI},
+	}
+	if chProf != nil {
+		fmt.Printf("detector chaos: %s profile\n", chProf.Name)
 	}
 	if trace != nil {
 		rc.Trace = trace

@@ -31,6 +31,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -47,6 +48,7 @@ func main() {
 	ctxTimeout := flag.Duration("ctx-timeout", 0, "overall wall-time bound (0 = none); the sweep stops cleanly and is resumable")
 	retries := flag.Int("retries", 0, "retries for a panicking run (0 = default 1, negative = none)")
 	haltAfter := flag.Int("halt-after", 0, "stop after N executed runs (crash stand-in for resume testing; 0 = unbounded)")
+	chaosAxis := flag.String("chaos", "", `comma-separated detector-chaos axis overriding the grid's (e.g. "none,heavy")`)
 	runs := flag.Int("runs", 0, "paper mode: runs per configuration (0 = small default)")
 	seed := flag.Int64("seed", 1, "paper mode: base random seed")
 	maxScale := flag.Int("maxscale", 4096, "paper mode: largest rank count for the scale study")
@@ -86,9 +88,13 @@ func main() {
 
 	var err error
 	if *grid == "paper" {
+		if *chaosAxis != "" {
+			fmt.Fprintln(os.Stderr, "pssweep: -chaos applies to grid sweeps, not -grid paper")
+			os.Exit(2)
+		}
 		err = runPaper(ctx, opts, paper.Options{Runs: *runs, Seed: *seed, MaxScale: *maxScale})
 	} else {
-		err = runGrid(ctx, *grid, opts)
+		err = runGrid(ctx, *grid, *chaosAxis, opts)
 	}
 	if *metrics {
 		totals := obs.NewTotals()
@@ -105,7 +111,9 @@ func main() {
 }
 
 // runGrid executes a declared grid sweep and prints its summary.
-func runGrid(ctx context.Context, grid string, opts sweep.Options) error {
+// chaosAxis, when non-empty, replaces the spec's chaos axis (validation
+// happens in Cells, up front).
+func runGrid(ctx context.Context, grid, chaosAxis string, opts sweep.Options) error {
 	var spec sweep.Spec
 	var err error
 	switch grid {
@@ -115,6 +123,9 @@ func runGrid(ctx context.Context, grid string, opts sweep.Options) error {
 		if spec, err = sweep.LoadSpec(grid); err != nil {
 			return err
 		}
+	}
+	if chaosAxis != "" {
+		spec.Chaos = strings.Split(chaosAxis, ",")
 	}
 
 	out, err := sweep.Run(ctx, spec, opts)

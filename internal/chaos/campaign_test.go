@@ -1,0 +1,295 @@
+package chaos_test
+
+import (
+	"testing"
+	"time"
+
+	"parastack/internal/chaos"
+	"parastack/internal/core"
+	"parastack/internal/experiment"
+	"parastack/internal/fault"
+	"parastack/internal/noise"
+	"parastack/internal/obs"
+	"parastack/internal/workload"
+)
+
+// goldenConfig is the exact configuration the pre-PR golden
+// fingerprints below were captured with: CG-D-64 on Tardis under the
+// default monitor, no chaos.
+func goldenConfig(kind fault.Kind, seed int64) experiment.RunConfig {
+	return experiment.RunConfig{
+		Params:    workload.MustLookup("CG", "D", 64),
+		Platform:  noise.Tardis(),
+		Seed:      seed,
+		FaultKind: kind,
+		Monitor:   &core.Config{},
+	}
+}
+
+// TestChaosDisabledBitIdentical locks the acceptance criterion that a
+// chaos-free run is bit-identical to pre-PR behavior: the fingerprints
+// below (verdict, injection/detection/finish times to the microsecond,
+// and the engine's total event count) were captured on the commit
+// before the chaos layer existed, across 3 fault kinds and a clean run
+// × 4 seeds. Any drift in the monitor's RNG consumption, probe
+// sequence, or event scheduling changes these numbers.
+func TestChaosDisabledBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("16 full runs")
+	}
+	golden := []struct {
+		kind                             string
+		seed                             int64
+		detected, falsePositive, done    bool
+		injectedUS, detectedUS, finishUS int64
+		events                           uint64
+	}{
+		{"computation-hang", 1, true, false, false, 436006100, 442337109, 0, 65593},
+		{"computation-hang", 2, true, false, false, 139325079, 145759032, 0, 21537},
+		{"computation-hang", 3, true, false, false, 428943011, 434673460, 0, 64953},
+		{"computation-hang", 4, true, false, false, 100953118, 106818612, 0, 15622},
+		{"node-freeze", 1, false, false, false, 435747680, 0, 0, 69924},
+		{"node-freeze", 2, true, false, false, 139203619, 145343087, 0, 21345},
+		{"node-freeze", 3, true, false, false, 428643405, 439527224, 0, 64773},
+		{"node-freeze", 4, true, false, false, 100630069, 107067785, 0, 15430},
+		{"communication-deadlock", 1, true, false, false, 436006100, 442337109, 0, 65593},
+		{"communication-deadlock", 2, true, false, false, 139325079, 145759032, 0, 21537},
+		{"communication-deadlock", 3, true, false, false, 428943011, 434673460, 0, 64953},
+		{"communication-deadlock", 4, true, false, false, 100953118, 106818612, 0, 15622},
+		{"none", 1, false, false, true, 0, 0, 524439284, 78938},
+		{"none", 2, false, false, true, 0, 0, 511500291, 78092},
+		{"none", 3, false, false, true, 0, 0, 521503311, 78335},
+		{"none", 4, false, false, true, 0, 0, 510987142, 78340},
+	}
+	for _, g := range golden {
+		kind, err := fault.Parse(g.kind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := experiment.Run(goldenConfig(kind, g.seed))
+		var detectedUS int64
+		if res.Report != nil {
+			detectedUS = res.Report.DetectedAt.Microseconds()
+		}
+		if res.Detected != g.detected || res.FalsePositive != g.falsePositive ||
+			res.Completed != g.done ||
+			res.InjectedAt.Microseconds() != g.injectedUS ||
+			detectedUS != g.detectedUS ||
+			res.FinishedAt.Microseconds() != g.finishUS ||
+			res.Events != g.events {
+			t.Errorf("%s seed %d drifted from pre-chaos behavior:\n  got  detected=%v fp=%v done=%v inj=%dus det=%dus fin=%dus events=%d\n  want detected=%v fp=%v done=%v inj=%dus det=%dus fin=%dus events=%d",
+				g.kind, g.seed,
+				res.Detected, res.FalsePositive, res.Completed,
+				res.InjectedAt.Microseconds(), detectedUS, res.FinishedAt.Microseconds(), res.Events,
+				g.detected, g.falsePositive, g.done,
+				g.injectedUS, g.detectedUS, g.finishUS, g.events)
+		}
+	}
+}
+
+// mustProfile resolves a named chaos profile or fails the test.
+func mustProfile(t *testing.T, name string) *chaos.Profile {
+	t.Helper()
+	p, err := chaos.Parse(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p == nil {
+		t.Fatalf("profile %q resolved to nil", name)
+	}
+	return p
+}
+
+// TestDetectionSurvivesProbeLossAndRankDeath is the headline
+// robustness claim: with a third of all probes lost AND monitored
+// ranks dying mid-run, faulty-run detection still succeeds and clean
+// runs still produce zero false positives.
+func TestDetectionSurvivesProbeLossAndRankDeath(t *testing.T) {
+	prof := &chaos.Profile{
+		Name:       "loss+death",
+		ProbeLoss:  0.35,
+		RankDeaths: 3, RankDeathAfter: 40 * time.Second,
+		RankDeathWindow: 120 * time.Second,
+	}
+	for seed := int64(1); seed <= 4; seed++ {
+		rc := goldenConfig(fault.ComputationHang, seed)
+		rc.Chaos = prof
+		res := experiment.Run(rc)
+		if !res.Injected {
+			t.Fatalf("seed %d: fault not injected", seed)
+		}
+		if res.FalsePositive {
+			t.Errorf("seed %d: false positive under chaos (report at %v, fault at %v)",
+				seed, res.Report.DetectedAt, res.InjectedAt)
+		}
+		if !res.Detected {
+			t.Errorf("seed %d: hang not detected under probe-loss + rank-death chaos", seed)
+		}
+	}
+	for seed := int64(1); seed <= 4; seed++ {
+		rc := goldenConfig(fault.None, seed)
+		rc.Chaos = prof
+		res := experiment.Run(rc)
+		if res.FalsePositive {
+			t.Errorf("clean seed %d: false positive under chaos: %+v", seed, res.Report)
+		}
+		if !res.Completed {
+			t.Errorf("clean seed %d: run did not complete", seed)
+		}
+	}
+}
+
+// TestEveryProfileShortOfBlackoutKeepsAccuracy sweeps every named
+// profile except the total blackout: each must preserve detection on a
+// faulty run and stay false-positive-free on a clean run.
+func TestEveryProfileShortOfBlackoutKeepsAccuracy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("2 runs per profile")
+	}
+	for _, name := range chaos.Names() {
+		if name == "none" || name == "blackout" {
+			continue
+		}
+		prof := mustProfile(t, name)
+		rc := goldenConfig(fault.ComputationHang, 2)
+		rc.Chaos = prof
+		res := experiment.Run(rc)
+		if !res.Detected || res.FalsePositive {
+			t.Errorf("profile %q: faulty run detected=%v fp=%v, want detected, no FP",
+				name, res.Detected, res.FalsePositive)
+		}
+		rc = goldenConfig(fault.None, 2)
+		rc.Chaos = prof
+		res = experiment.Run(rc)
+		if res.FalsePositive || !res.Completed {
+			t.Errorf("profile %q: clean run fp=%v completed=%v, want no FP and completion",
+				name, res.FalsePositive, res.Completed)
+		}
+	}
+}
+
+// TestBlackoutStaysSilent: with 100% probe loss the monitor can never
+// assemble a quorum, so it must stay silent — no verdict of any kind —
+// while the application runs to completion.
+func TestBlackoutStaysSilent(t *testing.T) {
+	rc := goldenConfig(fault.None, 1)
+	rc.Chaos = mustProfile(t, "blackout")
+	res := experiment.Run(rc)
+	if res.Report != nil || res.FalsePositive {
+		t.Fatalf("blackout produced a verdict: %+v", res.Report)
+	}
+	if !res.Completed {
+		t.Fatal("clean run under blackout did not complete")
+	}
+	if res.Metrics.Counters[core.CtrSamples] != 0 {
+		t.Fatalf("blackout monitor accepted %d samples, want 0",
+			res.Metrics.Counters[core.CtrSamples])
+	}
+	if res.Metrics.Counters[core.CtrQuorumMisses] == 0 {
+		t.Fatal("blackout recorded no quorum misses")
+	}
+}
+
+// TestMonitorCrashRestoreConvergesToSameVerdict kills the monitor
+// mid-run and restores it from its snapshot: the restored monitor must
+// still reach a verdict, and that verdict must agree with the
+// crash-free run's (same hang type, same faulty ranks).
+func TestMonitorCrashRestoreConvergesToSameVerdict(t *testing.T) {
+	// Seeds 1 and 3 inject at ~430s, far after the 90s crash, so the
+	// restored monitor owns the whole detection.
+	for _, seed := range []int64{1, 3} {
+		base := experiment.Run(goldenConfig(fault.ComputationHang, seed))
+		if !base.Detected {
+			t.Fatalf("seed %d: crash-free run did not detect", seed)
+		}
+		rc := goldenConfig(fault.ComputationHang, seed)
+		rc.Chaos = mustProfile(t, "monitor-crash")
+		res := experiment.Run(rc)
+		if !res.Detected || res.FalsePositive {
+			t.Fatalf("seed %d: killed-and-restored monitor reached no verdict (detected=%v fp=%v)",
+				seed, res.Detected, res.FalsePositive)
+		}
+		if res.Metrics.Counters[core.CtrFailovers] != 1 {
+			t.Fatalf("seed %d: failovers = %d, want 1", seed, res.Metrics.Counters[core.CtrFailovers])
+		}
+		if res.Report.Type != base.Report.Type {
+			t.Errorf("seed %d: hang type diverged after failover: %v vs %v",
+				seed, res.Report.Type, base.Report.Type)
+		}
+		if len(res.Report.FaultyRanks) != len(base.Report.FaultyRanks) {
+			t.Fatalf("seed %d: faulty ranks diverged after failover: %v vs %v",
+				seed, res.Report.FaultyRanks, base.Report.FaultyRanks)
+		}
+		for i := range res.Report.FaultyRanks {
+			if res.Report.FaultyRanks[i] != base.Report.FaultyRanks[i] {
+				t.Fatalf("seed %d: faulty ranks diverged after failover: %v vs %v",
+					seed, res.Report.FaultyRanks, base.Report.FaultyRanks)
+			}
+		}
+	}
+}
+
+// TestChaosCountersExercised is the obs ablation: one clean run under
+// the "heavy" mixed profile must light up every degradation counter —
+// probes lost, stale deliveries, rounds below quorum, quarantines, and
+// the failover — plus the recovery-time gauge.
+func TestChaosCountersExercised(t *testing.T) {
+	rc := goldenConfig(fault.None, 3)
+	rc.Chaos = mustProfile(t, "heavy")
+	res := experiment.Run(rc)
+	if !res.Completed || res.FalsePositive {
+		t.Fatalf("heavy-chaos clean run: completed=%v fp=%v", res.Completed, res.FalsePositive)
+	}
+	for _, ctr := range []string{
+		core.CtrProbesLost,
+		core.CtrProbesStale,
+		core.CtrQuorumMisses,
+		core.CtrQuarantines,
+		core.CtrFailovers,
+	} {
+		if res.Metrics.Counters[ctr] == 0 {
+			t.Errorf("counter %s not exercised under heavy chaos", ctr)
+		}
+	}
+	if _, ok := res.Metrics.Gauges[core.GaugeRecovery]; !ok {
+		t.Error("recovery gauge not reported after failover")
+	}
+}
+
+// TestChaosSmoke is the `make chaos-smoke` target: a short clean
+// campaign under the aggressive "heavy" profile, run with -race, that
+// must end with zero false positives — the detector's own failures
+// must never masquerade as application hangs.
+func TestChaosSmoke(t *testing.T) {
+	rc := goldenConfig(fault.None, 0)
+	rc.Chaos = mustProfile(t, "heavy")
+	rc.Stats = obs.NewTotals()
+	rs := experiment.Campaign(rc, 4, 1)
+	m := experiment.Aggregate(rs)
+	if m.FalsePositives != 0 {
+		t.Fatalf("chaos smoke: %d false positives in a clean campaign", m.FalsePositives)
+	}
+	for _, r := range rs {
+		if !r.Completed {
+			t.Errorf("seed %d did not complete under heavy chaos", r.Seed)
+		}
+	}
+	if rc.Stats.Counter(core.CtrProbesLost) == 0 {
+		t.Fatal("chaos smoke ran without actually losing probes")
+	}
+}
+
+// TestChaosCampaignDeterministic: chaos must not break the
+// seed-determinism contract campaigns rely on.
+func TestChaosCampaignDeterministic(t *testing.T) {
+	rc := goldenConfig(fault.ComputationHang, 0)
+	rc.Chaos = mustProfile(t, "probe-loss")
+	a := experiment.Campaign(rc, 3, 50)
+	b := experiment.Campaign(rc, 3, 50)
+	for i := range a {
+		if a[i].Detected != b[i].Detected || a[i].InjectedAt != b[i].InjectedAt ||
+			a[i].Delay != b[i].Delay || a[i].Events != b[i].Events {
+			t.Fatalf("run %d diverged under identical chaos: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,244 @@
+// Package chaos fault-injects the detector's own machinery. Where
+// internal/fault breaks the *application* (the paper's §7 methodology),
+// chaos breaks *ParaStack*: probe RPCs get lost or delivered late,
+// monitored ranks stop existing mid-run, the sampling clock jitters,
+// and the monitor process itself crashes and must be restored from a
+// checkpoint. The monitor's graceful-degradation paths (partial
+// sampling rounds, quarantine, epoch-stale discard, Snapshot/Restore
+// failover) exist to survive exactly these perturbations.
+//
+// Like the application-fault injector, every decision is derived
+// deterministically from the run seed: two runs with the same seed and
+// profile experience bit-identical chaos, which is what lets campaign
+// tests make exact assertions about degraded behavior.
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Fate is the outcome the chaos layer assigns one probe RPC.
+type Fate int
+
+const (
+	// FateOK delivers a fresh stack trace.
+	FateOK Fate = iota
+	// FateLost drops the probe: nothing comes back.
+	FateLost
+	// FateStale delivers a delayed reply: the trace the rank was last
+	// successfully probed with, from a previous sampling round.
+	FateStale
+)
+
+// String implements fmt.Stringer.
+func (f Fate) String() string {
+	switch f {
+	case FateOK:
+		return "ok"
+	case FateLost:
+		return "lost"
+	case FateStale:
+		return "stale"
+	default:
+		return fmt.Sprintf("Fate(%d)", int(f))
+	}
+}
+
+// Profile declares how a run perturbs its own detector. The zero value
+// disables everything; named profiles come from Parse.
+type Profile struct {
+	// Name identifies the profile in sweep grids and logs.
+	Name string
+	// ProbeLoss is the probability one probe RPC returns nothing.
+	ProbeLoss float64
+	// ProbeStale is the probability one probe RPC returns a stale
+	// trace from a previous sampling round instead of a fresh one.
+	ProbeStale float64
+	// RankDeaths is how many ranks stop existing mid-run: every probe
+	// of a dead rank is lost forever. Death times are drawn uniformly
+	// in [RankDeathAfter, RankDeathAfter+RankDeathWindow).
+	RankDeaths      int
+	RankDeathAfter  time.Duration
+	RankDeathWindow time.Duration
+	// ClockJitter adds up to this much extra delay to every sampling
+	// step, modeling a monitor host under scheduling pressure.
+	ClockJitter time.Duration
+	// MonitorCrashAt kills the monitor at this virtual time (0 = never);
+	// MonitorRestartAfter is the downtime before a snapshot-restored
+	// replacement starts.
+	MonitorCrashAt      time.Duration
+	MonitorRestartAfter time.Duration
+}
+
+// Enabled reports whether the profile perturbs anything at all.
+func (p Profile) Enabled() bool {
+	return p.ProbeLoss > 0 || p.ProbeStale > 0 || p.RankDeaths > 0 ||
+		p.ClockJitter > 0 || p.MonitorCrashAt > 0
+}
+
+// profiles is the named-profile registry. Each entry stresses one
+// degradation path in isolation except "light" and "heavy", which mix;
+// "blackout" is the documented out-of-scope extreme (no probe ever
+// arrives, so the monitor can never — and must never — verify anything).
+var profiles = map[string]Profile{
+	"light": {
+		Name: "light", ProbeLoss: 0.05, ProbeStale: 0.05,
+	},
+	"probe-loss": {
+		Name: "probe-loss", ProbeLoss: 0.35,
+	},
+	"stale": {
+		Name: "stale", ProbeStale: 0.35,
+	},
+	"rank-death": {
+		Name: "rank-death", RankDeaths: 3,
+		RankDeathAfter: 40 * time.Second, RankDeathWindow: 120 * time.Second,
+	},
+	"jitter": {
+		Name: "jitter", ClockJitter: 300 * time.Millisecond,
+	},
+	"monitor-crash": {
+		Name: "monitor-crash", MonitorCrashAt: 90 * time.Second,
+		MonitorRestartAfter: 15 * time.Second,
+	},
+	"heavy": {
+		Name: "heavy", ProbeLoss: 0.25, ProbeStale: 0.10,
+		RankDeaths: 2, RankDeathAfter: 40 * time.Second, RankDeathWindow: 120 * time.Second,
+		ClockJitter:    200 * time.Millisecond,
+		MonitorCrashAt: 100 * time.Second, MonitorRestartAfter: 10 * time.Second,
+	},
+	"blackout": {
+		Name: "blackout", ProbeLoss: 1.0,
+	},
+}
+
+// Names lists the named profiles, sorted ("none" first as the default).
+func Names() []string {
+	out := make([]string, 0, len(profiles)+1)
+	for n := range profiles {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return append([]string{"none"}, out...)
+}
+
+// Parse resolves a profile name. "none" and "" yield a nil profile
+// (chaos disabled); unknown names produce an error enumerating every
+// accepted name.
+func Parse(name string) (*Profile, error) {
+	if name == "none" || name == "" {
+		return nil, nil
+	}
+	if p, ok := profiles[name]; ok {
+		return &p, nil
+	}
+	return nil, fmt.Errorf("chaos: unknown profile %q (accepted: %s)", name, strings.Join(Names(), ", "))
+}
+
+// seedSalt decouples the chaos randomness stream from every other
+// consumer of the run seed (engine, topology, fault plan): enabling
+// chaos must not shift the application's random sequence, and a
+// chaos-free run must be bit-identical to one that never imported this
+// package.
+const seedSalt = 0x70617261636861 // "paracha"
+
+// Injector drives one run's chaos deterministically. A nil *Injector is
+// a valid no-op, mirroring fault.Injector.
+type Injector struct {
+	prof   Profile
+	rng    *rand.Rand
+	deadAt map[int]time.Duration
+}
+
+// NewInjector materializes a profile for one run of size ranks: rank
+// deaths (victims and times) are drawn up front from seed, so they are
+// a property of the run, not of probe order.
+func NewInjector(p Profile, seed int64, size int) *Injector {
+	if p.RankDeaths > 0 {
+		if p.RankDeathAfter == 0 {
+			p.RankDeathAfter = 30 * time.Second
+		}
+		if p.RankDeathWindow == 0 {
+			p.RankDeathWindow = 60 * time.Second
+		}
+	}
+	if p.MonitorCrashAt > 0 && p.MonitorRestartAfter == 0 {
+		p.MonitorRestartAfter = 10 * time.Second
+	}
+	in := &Injector{prof: p, rng: rand.New(rand.NewSource(seed ^ seedSalt))}
+	if n := p.RankDeaths; n > 0 && size > 0 {
+		if n > size {
+			n = size
+		}
+		in.deadAt = make(map[int]time.Duration, n)
+		for _, r := range in.rng.Perm(size)[:n] {
+			in.deadAt[r] = p.RankDeathAfter + time.Duration(in.rng.Int63n(int64(p.RankDeathWindow)))
+		}
+	}
+	return in
+}
+
+// Profile returns the (default-filled) profile the injector runs.
+func (in *Injector) Profile() Profile {
+	if in == nil {
+		return Profile{}
+	}
+	return in.prof
+}
+
+// ProbeFate decides the outcome of one probe of rank at virtual time
+// now: a dead rank is lost forever, otherwise loss and staleness are
+// drawn from the chaos stream.
+func (in *Injector) ProbeFate(rank int, now time.Duration) Fate {
+	if in == nil {
+		return FateOK
+	}
+	if at, dead := in.deadAt[rank]; dead && now >= at {
+		return FateLost
+	}
+	if in.prof.ProbeLoss <= 0 && in.prof.ProbeStale <= 0 {
+		return FateOK
+	}
+	u := in.rng.Float64()
+	if u < in.prof.ProbeLoss {
+		return FateLost
+	}
+	if u < in.prof.ProbeLoss+in.prof.ProbeStale {
+		return FateStale
+	}
+	return FateOK
+}
+
+// StepJitter returns the extra delay chaos adds to the next sampling
+// step, in [0, ClockJitter).
+func (in *Injector) StepJitter() time.Duration {
+	if in == nil || in.prof.ClockJitter <= 0 {
+		return 0
+	}
+	return time.Duration(in.rng.Int63n(int64(in.prof.ClockJitter)))
+}
+
+// CrashPlan returns when the monitor crashes and how long it stays
+// down; ok is false when the profile never crashes it.
+func (in *Injector) CrashPlan() (at, downtime time.Duration, ok bool) {
+	if in == nil || in.prof.MonitorCrashAt <= 0 {
+		return 0, 0, false
+	}
+	return in.prof.MonitorCrashAt, in.prof.MonitorRestartAfter, true
+}
+
+// DeadRanks returns each planned rank death and its time (a copy).
+func (in *Injector) DeadRanks() map[int]time.Duration {
+	if in == nil || len(in.deadAt) == 0 {
+		return nil
+	}
+	out := make(map[int]time.Duration, len(in.deadAt))
+	for r, at := range in.deadAt {
+		out[r] = at
+	}
+	return out
+}

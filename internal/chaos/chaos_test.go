@@ -1,0 +1,175 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseKnownProfiles(t *testing.T) {
+	for _, name := range Names() {
+		p, err := Parse(name)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", name, err)
+		}
+		if name == "none" {
+			if p != nil {
+				t.Fatal(`Parse("none") returned a profile`)
+			}
+			continue
+		}
+		if p == nil || p.Name != name {
+			t.Fatalf("Parse(%q) = %+v", name, p)
+		}
+		if !p.Enabled() {
+			t.Fatalf("registry profile %q perturbs nothing", name)
+		}
+	}
+	if p, err := Parse(""); p != nil || err != nil {
+		t.Fatalf(`Parse("") = %v, %v, want nil, nil`, p, err)
+	}
+}
+
+// TestParseUnknownEnumeratesNames: the error for a typo must list every
+// accepted profile, so the CLI user never has to read source code.
+func TestParseUnknownEnumeratesNames(t *testing.T) {
+	_, err := Parse("hvay")
+	if err == nil {
+		t.Fatal("unknown profile accepted")
+	}
+	for _, name := range Names() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q does not mention accepted profile %q", err, name)
+		}
+	}
+}
+
+func TestInjectorDeterministicPerSeed(t *testing.T) {
+	p := Profile{Name: "t", ProbeLoss: 0.3, ProbeStale: 0.2, RankDeaths: 4,
+		RankDeathAfter: 10 * time.Second, RankDeathWindow: 30 * time.Second,
+		ClockJitter: 100 * time.Millisecond}
+	a, b := NewInjector(p, 42, 64), NewInjector(p, 42, 64)
+	other := NewInjector(p, 43, 64)
+	differs := false
+	for i := 0; i < 1000; i++ {
+		now := time.Duration(i) * 50 * time.Millisecond
+		rank := i % 64
+		fa, fb := a.ProbeFate(rank, now), b.ProbeFate(rank, now)
+		if fa != fb {
+			t.Fatalf("probe %d: same seed diverged: %v vs %v", i, fa, fb)
+		}
+		if ja, jb := a.StepJitter(), b.StepJitter(); ja != jb {
+			t.Fatalf("jitter %d: same seed diverged: %v vs %v", i, ja, jb)
+		}
+		if fa != other.ProbeFate(rank, now) {
+			differs = true
+		}
+	}
+	if !differs {
+		t.Fatal("seeds 42 and 43 produced identical chaos streams")
+	}
+	da, db := a.DeadRanks(), b.DeadRanks()
+	if len(da) != 4 || len(db) != 4 {
+		t.Fatalf("dead ranks: %v / %v, want 4 each", da, db)
+	}
+	for r, at := range da {
+		if db[r] != at {
+			t.Fatalf("death plans diverged for rank %d: %v vs %v", r, at, db[r])
+		}
+	}
+}
+
+func TestDeadRanksWithinWindow(t *testing.T) {
+	p := Profile{RankDeaths: 5, RankDeathAfter: 40 * time.Second, RankDeathWindow: 120 * time.Second}
+	in := NewInjector(p, 7, 32)
+	dead := in.DeadRanks()
+	if len(dead) != 5 {
+		t.Fatalf("%d deaths planned, want 5", len(dead))
+	}
+	for r, at := range dead {
+		if r < 0 || r >= 32 {
+			t.Errorf("dead rank %d out of world", r)
+		}
+		if at < 40*time.Second || at >= 160*time.Second {
+			t.Errorf("rank %d dies at %v, outside [40s, 160s)", r, at)
+		}
+		if f := in.ProbeFate(r, at-time.Millisecond); f == FateLost && p.ProbeLoss == 0 {
+			t.Errorf("rank %d lost before its death time", r)
+		}
+		if f := in.ProbeFate(r, at); f != FateLost {
+			t.Errorf("rank %d probe at death time = %v, want lost", r, f)
+		}
+		if f := in.ProbeFate(r, at+time.Hour); f != FateLost {
+			t.Errorf("dead rank %d came back: %v", r, f)
+		}
+	}
+}
+
+func TestDeathsCappedAtWorldSize(t *testing.T) {
+	in := NewInjector(Profile{RankDeaths: 100, RankDeathAfter: time.Second, RankDeathWindow: time.Second}, 1, 8)
+	if n := len(in.DeadRanks()); n != 8 {
+		t.Fatalf("%d deaths in an 8-rank world", n)
+	}
+}
+
+func TestBlackoutLosesEveryProbe(t *testing.T) {
+	in := NewInjector(profiles["blackout"], 3, 16)
+	for i := 0; i < 500; i++ {
+		if f := in.ProbeFate(i%16, time.Duration(i)*time.Millisecond); f != FateLost {
+			t.Fatalf("blackout probe %d = %v", i, f)
+		}
+	}
+}
+
+func TestJitterBounds(t *testing.T) {
+	in := NewInjector(Profile{ClockJitter: 300 * time.Millisecond}, 5, 8)
+	seen := false
+	for i := 0; i < 500; i++ {
+		j := in.StepJitter()
+		if j < 0 || j >= 300*time.Millisecond {
+			t.Fatalf("jitter %v outside [0, 300ms)", j)
+		}
+		if j > 0 {
+			seen = true
+		}
+	}
+	if !seen {
+		t.Fatal("jitter never positive in 500 draws")
+	}
+}
+
+// TestNilInjectorIsNoOp mirrors the fault.Injector nil-receiver idiom.
+func TestNilInjectorIsNoOp(t *testing.T) {
+	var in *Injector
+	if f := in.ProbeFate(3, time.Second); f != FateOK {
+		t.Fatalf("nil injector fate = %v", f)
+	}
+	if j := in.StepJitter(); j != 0 {
+		t.Fatalf("nil injector jitter = %v", j)
+	}
+	if _, _, ok := in.CrashPlan(); ok {
+		t.Fatal("nil injector plans a crash")
+	}
+	if d := in.DeadRanks(); d != nil {
+		t.Fatalf("nil injector kills ranks: %v", d)
+	}
+	if p := in.Profile(); p.Enabled() {
+		t.Fatalf("nil injector has a live profile: %+v", p)
+	}
+}
+
+func TestCrashPlanDefaultsDowntime(t *testing.T) {
+	in := NewInjector(Profile{MonitorCrashAt: time.Minute}, 1, 8)
+	at, down, ok := in.CrashPlan()
+	if !ok || at != time.Minute || down != 10*time.Second {
+		t.Fatalf("CrashPlan = %v, %v, %v; want 1m, 10s (defaulted), true", at, down, ok)
+	}
+}
+
+func TestFateString(t *testing.T) {
+	for f, want := range map[Fate]string{FateOK: "ok", FateLost: "lost", FateStale: "stale", Fate(9): "Fate(9)"} {
+		if f.String() != want {
+			t.Fatalf("Fate(%d).String() = %q, want %q", int(f), f, want)
+		}
+	}
+}

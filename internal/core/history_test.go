@@ -120,7 +120,7 @@ func TestHistoryWrappedCopyIsStable(t *testing.T) {
 
 // TestTinyClusterFallsBackToSingleSet: a cluster too small to fill
 // multiple disjoint sets must still leave the monitor with one usable
-// set instead of panicking in ActiveRanks/sampleScrout.
+// set instead of panicking in ActiveRanks/sampleRound.
 func TestTinyClusterFallsBackToSingleSet(t *testing.T) {
 	eng := sim.NewEngine(1)
 	w := mpi.NewWorld(eng, 1, mpi.Latency{})
@@ -135,8 +135,8 @@ func TestTinyClusterFallsBackToSingleSet(t *testing.T) {
 	}
 	w.Launch(func(r *mpi.Rank) { r.Proc().Suspend() })
 	eng.RunAll()
-	if got := m.sampleScrout(); got != 1 {
-		t.Fatalf("sampleScrout = %v, want 1 (single parked OUT_MPI rank)", got)
+	if got, ok := m.sampleRound(); !ok || got != 1 {
+		t.Fatalf("sampleRound = %v,%v, want 1,true (single parked OUT_MPI rank)", got, ok)
 	}
 	// And a full monitored run on the tiny cluster must not panic.
 	eng2 := sim.NewEngine(2)

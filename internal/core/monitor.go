@@ -13,8 +13,11 @@
 package core
 
 import (
+	"math"
+	"sort"
 	"time"
 
+	"parastack/internal/chaos"
 	"parastack/internal/detect"
 	"parastack/internal/model"
 	"parastack/internal/mpi"
@@ -38,9 +41,18 @@ const (
 	CtrTraces        = "monitor.traces"             // stack traces taken
 	CtrPhaseSwitches = "monitor.phase_switches"     // NotifyPhase transitions
 
+	// Degradation counters (nonzero only under Config.Chaos).
+	CtrProbesLost   = "monitor.probes_lost"          // probes that returned nothing
+	CtrProbesStale  = "monitor.probes_stale"         // stale traces delivered late
+	CtrQuorumMisses = "monitor.rounds_below_quorum"  // sampling rounds discarded
+	CtrQuarantines  = "monitor.quarantines"          // ranks quarantined as unreachable
+	CtrAmnesties    = "monitor.quarantine_amnesties" // pool-dry paroles of quarantined ranks
+	CtrFailovers    = "monitor.failovers"            // monitors restored from a snapshot
+
 	GaugeInterval  = "monitor.interval_ms" // current sampling interval I
 	GaugeQ         = "monitor.q"           // latest fit's q
 	GaugeThreshold = "monitor.threshold"   // latest fit's suspicion threshold
+	GaugeRecovery  = "monitor.recovery_ms" // restore → first accepted round
 
 	EvSample     = "sample"       // fields: scrout, suspicion, set, n
 	EvSuspicion  = "suspicion"    // fields: streak, k, q, threshold
@@ -50,7 +62,22 @@ const (
 	EvSlowdown   = "slowdown"     // fields: streak
 	EvVerify     = "verification" // fields: type, suspicions, q, threshold, faulty
 	EvPhase      = "phase"        // fields: phase
+	EvQuorumMiss = "quorum_miss"  // fields: got, need, set
+	EvQuarantine = "quarantine"   // fields: rank, replacement, set
+	EvFailover   = "failover"     // fields: samples, sets, down_us
 )
+
+// ProbeChaos is the seam through which an infrastructure-chaos layer
+// perturbs the monitor's own machinery: each probe RPC is given a fate
+// (fresh, lost, or stale) and each sampling step an extra delay. It is
+// implemented by *chaos.Injector; tests substitute deterministic fakes.
+type ProbeChaos interface {
+	// ProbeFate decides the outcome of one probe of rank at virtual
+	// time now.
+	ProbeFate(rank int, now time.Duration) chaos.Fate
+	// StepJitter returns extra delay added to the next sampling step.
+	StepJitter() time.Duration
+}
 
 // HangType classifies a verified hang by the phase the error lives in
 // (alias of the detector-neutral internal/detect type).
@@ -117,6 +144,23 @@ type Config struct {
 	FaultScans   int
 	FaultScanGap time.Duration
 
+	// Chaos, when non-nil, perturbs the monitor's own probes and clock
+	// (see internal/chaos). The monitor then degrades gracefully:
+	// Scrout is computed over the traces that actually arrived, rounds
+	// below quorum are discarded, stale traces are rejected by
+	// sample-round epoch, and persistently unreachable ranks are
+	// quarantined and replaced. When nil (the default) the sampling
+	// path is byte-for-byte the chaos-free one.
+	Chaos ProbeChaos
+	// Quorum is the minimum fraction of a sampling round's probes that
+	// must return fresh traces for the round to count (default 0.5);
+	// only meaningful with Chaos.
+	Quorum float64
+	// QuarantineAfter is how many consecutive lost probes of one rank
+	// make the monitor quarantine it and re-pick its slot (default 3);
+	// only meaningful with Chaos.
+	QuarantineAfter int
+
 	// Ablation switches (all false = the paper's system).
 	DisableAdaptation     bool // never double I
 	DisableSetSwitch      bool // monitor a single set
@@ -171,6 +215,12 @@ func (c Config) withDefaults() Config {
 	if c.FaultScanGap == 0 {
 		c.FaultScanGap = 100 * time.Millisecond
 	}
+	if c.Quorum == 0 {
+		c.Quorum = 0.5
+	}
+	if c.QuarantineAfter == 0 {
+		c.QuarantineAfter = 3
+	}
 	return c
 }
 
@@ -207,6 +257,24 @@ type Monitor struct {
 	// Phase support (§6): nil models map means single-phase operation.
 	curPhase int
 	models   map[int]*model.Model
+
+	// Chaos-degradation state, allocated only when Config.Chaos is set
+	// so the chaos-free sampling path stays untouched (and SampleOnce
+	// stays allocation-free). epoch numbers sampling rounds; lastTrace/
+	// lastEpoch cache each rank's last fresh trace so a stale reply can
+	// deliver — and be rejected as — a previous round's observation.
+	chaosOn     bool
+	epoch       uint64
+	lastTrace   []stack.Trace
+	lastEpoch   []uint64 // per-rank epoch of lastTrace; 0 = never probed
+	failStreak  []int    // consecutive lost probes, reset on any reply
+	okScratch   []bool   // slowdownCheck scratch: which first-traces arrived
+	quarantined map[int]bool
+
+	// Failover state: set by RestoreMonitor so the first accepted round
+	// can report the recovery-time gauge.
+	restoredAt       time.Duration
+	recoveryRecorded bool
 
 	// Stats observable by experiments (counter-style stats live on the
 	// recorder; see Doublings and SlowdownsSeen).
@@ -252,8 +320,17 @@ func New(w *mpi.World, cluster *topology.Cluster, cfg Config) *Monitor {
 	if len(m.sets) == 0 {
 		// Tiny or degenerate clusters can leave every disjoint set
 		// empty; fall back to a single best-effort set so ActiveRanks
-		// and sampleScrout never index an empty slice.
+		// and sampleRound never index an empty slice.
 		m.sets = []topology.MonitorSet{cluster.PickMonitorSet(rng, cfg.C, nil)}
+	}
+	if cfg.Chaos != nil {
+		m.chaosOn = true
+		n := w.Size()
+		m.lastTrace = make([]stack.Trace, n)
+		m.lastEpoch = make([]uint64, n)
+		m.failStreak = make([]int, n)
+		m.okScratch = make([]bool, n)
+		m.quarantined = make(map[int]bool)
 	}
 	return m
 }
@@ -294,13 +371,32 @@ func (m *Monitor) TotalSamples() int { return m.totalSamples }
 // into the model, and record the sample. The monitor's run loop
 // performs exactly these steps per wakeup; SampleOnce exposes them so
 // benchmarks (internal/bench, cmd/psbench -bench-json) can measure the
-// per-sample cost — which must stay allocation-free — directly.
+// per-sample cost — which must stay allocation-free — directly. A
+// round discarded by the chaos-degradation quorum rule contributes
+// nothing to the model and returns 0.
 func (m *Monitor) SampleOnce() float64 {
-	scrout := m.sampleScrout()
+	scrout, ok := m.sampleRound()
+	if !ok {
+		return 0
+	}
 	m.curModel().Add(scrout)
 	m.totalSamples++
 	m.record(scrout, false)
 	return scrout
+}
+
+// Quarantined returns the ranks the monitor has quarantined as
+// persistently unreachable, ascending (nil without Config.Chaos).
+func (m *Monitor) Quarantined() []int {
+	if len(m.quarantined) == 0 {
+		return nil
+	}
+	out := make([]int, 0, len(m.quarantined))
+	for r := range m.quarantined {
+		out = append(out, r)
+	}
+	sort.Ints(out)
+	return out
 }
 
 // Recorder returns the monitor's observability recorder.
@@ -314,7 +410,13 @@ func (m *Monitor) Doublings() int { return int(m.rec.Counter(CtrDoublings)) }
 // (recorder-backed; formerly a struct field).
 func (m *Monitor) SlowdownsSeen() int { return int(m.rec.Counter(CtrSlowdowns)) }
 
-// Stop makes the monitor exit at its next wakeup (used when detaching).
+// Stop makes the monitor exit at its next wakeup (used when detaching,
+// and by the chaos layer to crash it). A stopped monitor never delivers
+// a verdict and fires no further sampling events or counters — the run
+// loop re-checks the flag after every sleep, including those inside the
+// slowdown filter and the faulty-rank scans. Stop before Start is a
+// safe no-op: the spawned process exits on its first wakeup without
+// sampling anything.
 func (m *Monitor) Stop() { m.stopped = true }
 
 // Start spawns the monitor process on the world's engine. The monitor
@@ -330,12 +432,22 @@ func (m *Monitor) run(p *sim.Proc) {
 	for !m.stopped {
 		// Randomized sampling step: rstep = rand(I) + I/2 ∈ [I/2, 3I/2].
 		step := time.Duration(rng.Int63n(int64(m.I))) + m.I/2
+		if m.chaosOn {
+			step += m.cfg.Chaos.StepJitter()
+		}
 		p.Sleep(step)
 		if m.w.Done() || m.stopped {
 			return
 		}
 
-		scrout := m.sampleScrout()
+		scrout, ok := m.sampleRound()
+		if !ok {
+			// Degraded round (below quorum): nothing enters the model
+			// and the suspicion streak neither grows nor resets — the
+			// monitor simply learned nothing this wakeup.
+			continue
+		}
+		m.noteRecovery()
 		md := m.curModel()
 		md.Add(scrout)
 		m.totalSamples++
@@ -402,17 +514,23 @@ func (m *Monitor) run(p *sim.Proc) {
 		}
 
 		// Candidate hang: apply the transient-slowdown filter.
-		if !m.cfg.DisableSlowdownFilter && m.slowdownCheck(p) {
-			m.rec.Count(CtrSlowdowns, 1)
-			if m.rec.Enabled() {
-				m.rec.Event(time.Duration(eng.Now()), EvSlowdown,
-					obs.Int("streak", int64(m.suspicions)))
+		if !m.cfg.DisableSlowdownFilter {
+			slow := m.slowdownCheck(p)
+			if m.stopped {
+				return // crashed/detached during the check: no verdict
 			}
-			m.suspicions = 0
-			m.rotateSet()
-			continue
+			if slow {
+				m.rec.Count(CtrSlowdowns, 1)
+				if m.rec.Enabled() {
+					m.rec.Event(time.Duration(eng.Now()), EvSlowdown,
+						obs.Int("streak", int64(m.suspicions)))
+				}
+				m.suspicions = 0
+				m.rotateSet()
+				continue
+			}
 		}
-		if m.w.Done() {
+		if m.w.Done() || m.stopped {
 			return
 		}
 
@@ -426,6 +544,9 @@ func (m *Monitor) run(p *sim.Proc) {
 			Threshold:  fit.Threshold,
 		}
 		rep.FaultyRanks = m.identifyFaulty(p)
+		if m.stopped {
+			return // crashed during the scans: no verdict
+		}
 		if len(rep.FaultyRanks) > 0 {
 			rep.Type = HangComputation
 		} else {
@@ -513,20 +634,217 @@ func (m *Monitor) trace(rankID int) stack.Trace {
 	return r.Observe()
 }
 
-// sampleScrout computes the fraction of the active set's ranks that are
-// OUT_MPI right now.
-func (m *Monitor) sampleScrout() float64 {
+// sampleRound probes the active set once and computes Scrout over the
+// traces that actually arrived. ok is false when the round must be
+// discarded: fewer fresh traces than Config.Quorum of the set (probe
+// loss, stale replies, or a set emptied by quarantine). Without chaos
+// every probe is fresh, the quorum is trivially met, and the round is
+// exactly the paper's: the fraction of the active set OUT_MPI right
+// now.
+func (m *Monitor) sampleRound() (float64, bool) {
+	m.epoch++
 	ranks := m.sets[m.activeSet].Ranks
 	if len(ranks) == 0 {
-		return 0
+		return 0, false
 	}
-	out := 0
+	if !m.chaosOn {
+		out := 0
+		for _, id := range ranks {
+			if m.trace(id).State == stack.OutMPI {
+				out++
+			}
+		}
+		return float64(out) / float64(len(ranks)), true
+	}
+	out, got := 0, 0
 	for _, id := range ranks {
-		if m.trace(id).State == stack.OutMPI {
-			out++
+		tr, epoch, ok := m.probeRound(id)
+		switch {
+		case !ok: // lost: nothing came back
+			m.failStreak[id]++
+		case epoch != m.epoch: // stale: reachable, but a previous round's state
+			m.failStreak[id] = 0
+		default:
+			m.failStreak[id] = 0
+			got++
+			if tr.State == stack.OutMPI {
+				out++
+			}
 		}
 	}
-	return float64(out) / float64(len(ranks))
+	// Quarantine after the probe loop: replacing a rank mutates the
+	// slice being ranged over, so restart the scan after each one.
+	for {
+		quarantinedOne := false
+		for _, id := range m.sets[m.activeSet].Ranks {
+			if !m.quarantined[id] && m.failStreak[id] >= m.cfg.QuarantineAfter {
+				m.quarantine(id)
+				quarantinedOne = true
+				break
+			}
+		}
+		if !quarantinedOne {
+			break
+		}
+	}
+	need := int(math.Ceil(m.cfg.Quorum * float64(len(ranks))))
+	if need < 1 {
+		need = 1
+	}
+	if got < need {
+		m.rec.Count(CtrQuorumMisses, 1)
+		if m.rec.Enabled() {
+			m.rec.Event(time.Duration(m.w.Engine().Now()), EvQuorumMiss,
+				obs.Int("got", int64(got)),
+				obs.Int("need", int64(need)),
+				obs.Int("set", int64(m.activeSet)))
+		}
+		return 0, false
+	}
+	return float64(out) / float64(got), true
+}
+
+// probeRound takes one chaos-mediated probe for the current sampling
+// round. The returned epoch tags the trace's freshness: a stale reply
+// carries the epoch of the round it was actually captured in, and
+// sampleRound discards any trace whose epoch is not the current
+// round's. A stale reply with nothing cached yet is indistinguishable
+// from a loss to the monitor and is treated as one.
+func (m *Monitor) probeRound(rankID int) (stack.Trace, uint64, bool) {
+	switch m.cfg.Chaos.ProbeFate(rankID, time.Duration(m.w.Engine().Now())) {
+	case chaos.FateLost:
+		m.rec.Count(CtrProbesLost, 1)
+		return stack.Trace{}, 0, false
+	case chaos.FateStale:
+		m.rec.Count(CtrProbesStale, 1)
+		if m.lastEpoch[rankID] > 0 {
+			return m.lastTrace[rankID], m.lastEpoch[rankID], true
+		}
+		return stack.Trace{}, 0, false
+	}
+	tr := m.trace(rankID)
+	m.lastTrace[rankID] = tr
+	m.lastEpoch[rankID] = m.epoch
+	return tr, m.epoch, true
+}
+
+// probeFresh is the probe the verification paths use (slowdown filter,
+// faulty-rank scans): they need evidence about a rank's state right
+// now, so a stale reply is as useless as a lost one, and neither
+// touches the per-rank trace cache.
+func (m *Monitor) probeFresh(rankID int) (stack.Trace, bool) {
+	if !m.chaosOn {
+		return m.trace(rankID), true
+	}
+	switch m.cfg.Chaos.ProbeFate(rankID, time.Duration(m.w.Engine().Now())) {
+	case chaos.FateLost:
+		m.rec.Count(CtrProbesLost, 1)
+		return stack.Trace{}, false
+	case chaos.FateStale:
+		m.rec.Count(CtrProbesStale, 1)
+		return stack.Trace{}, false
+	}
+	return m.trace(rankID), true
+}
+
+// quarantine gives up on an unreachable rank: it is removed from
+// whichever monitor set holds it and a replacement is drawn from the
+// ranks not quarantined and not already monitored — the same
+// PickMonitorSet machinery that built the sets (§3.3). Quarantine is
+// not a life sentence: when the candidate pool runs dry (sustained
+// random probe loss quarantines spuriously, and a long run would
+// otherwise exile every rank and starve the monitor into permanent
+// silence), all previously quarantined ranks are paroled and the pick
+// retried. Truly dead ranks re-enter quarantine within QuarantineAfter
+// rounds; live ranks that were exiled by bad luck return to service.
+// Only when even parole yields no candidate does the set shrink; a
+// fully unreachable world then leaves every round below quorum, which
+// is the designed blackout behavior (the monitor stays silent rather
+// than guessing).
+func (m *Monitor) quarantine(id int) {
+	m.quarantined[id] = true
+	m.failStreak[id] = 0
+	m.rec.Count(CtrQuarantines, 1)
+	excl := make(map[int]bool, len(m.quarantined)+len(m.sets)*m.cfg.C)
+	for r := range m.quarantined {
+		excl[r] = true
+	}
+	for _, s := range m.sets {
+		for _, r := range s.Ranks {
+			excl[r] = true
+		}
+	}
+	rng := m.w.Engine().Rand()
+	for si := range m.sets {
+		ranks := m.sets[si].Ranks
+		pos := -1
+		for i, r := range ranks {
+			if r == id {
+				pos = i
+				break
+			}
+		}
+		if pos < 0 {
+			continue
+		}
+		picked := m.cluster.PickMonitorSet(rng, 1, excl)
+		if len(picked.Ranks) == 0 && len(m.quarantined) > 1 {
+			// Amnesty: the pool is dry, so parole everyone except the
+			// rank being quarantined right now. Quarantined ranks are
+			// never current set members, so dropping them from excl
+			// cannot collide with the monitored ranks still excluded.
+			for r := range m.quarantined {
+				if r != id {
+					delete(m.quarantined, r)
+					delete(excl, r)
+				}
+			}
+			m.rec.Count(CtrAmnesties, 1)
+			picked = m.cluster.PickMonitorSet(rng, 1, excl)
+		}
+		repl := -1
+		if len(picked.Ranks) == 1 {
+			repl = picked.Ranks[0]
+			ranks[pos] = repl
+		} else {
+			m.sets[si].Ranks = append(ranks[:pos], ranks[pos+1:]...)
+		}
+		m.refreshNodes(si)
+		if m.rec.Enabled() {
+			m.rec.Event(time.Duration(m.w.Engine().Now()), EvQuarantine,
+				obs.Int("rank", int64(id)),
+				obs.Int("replacement", int64(repl)),
+				obs.Int("set", int64(si)))
+		}
+		return // sets are disjoint: a rank lives in at most one
+	}
+}
+
+// refreshNodes recomputes a set's active-node list after its ranks
+// changed.
+func (m *Monitor) refreshNodes(si int) {
+	seen := map[int]bool{}
+	nodes := m.sets[si].Nodes[:0]
+	for _, r := range m.sets[si].Ranks {
+		n := m.cluster.NodeOf(r)
+		if !seen[n] {
+			seen[n] = true
+			nodes = append(nodes, n)
+		}
+	}
+	sort.Ints(nodes)
+	m.sets[si].Nodes = nodes
+}
+
+// noteRecovery reports the failover-recovery gauge — virtual time from
+// restore to the first sampling round the restored monitor accepted.
+func (m *Monitor) noteRecovery() {
+	if m.restoredAt == 0 || m.recoveryRecorded {
+		return
+	}
+	m.recoveryRecorded = true
+	d := time.Duration(m.w.Engine().Now()) - m.restoredAt
+	m.rec.Gauge(GaugeRecovery, float64(d.Milliseconds()))
 }
 
 // slowdownCheck distinguishes a transient slowdown from a hang using
@@ -554,15 +872,42 @@ func (m *Monitor) slowdownCheck(p *sim.Proc) bool {
 		m.traceScratch = make([]stack.Trace, n)
 	}
 	first := m.traceScratch[:n]
+	if !m.chaosOn {
+		for i := 0; i < n; i++ {
+			first[i] = m.trace(i)
+		}
+		p.Sleep(gap)
+		if m.w.Done() || m.stopped {
+			return true // completed (or detached) while we checked
+		}
+		for i := 0; i < n; i++ {
+			if stack.CompareTraces(first[i], m.trace(i)) == stack.SlowProgress {
+				return true
+			}
+		}
+		return false
+	}
+	// Under chaos either trace of a pair can be missing; a rank only
+	// proves liveness when both its probes arrived. Skipped pairs are
+	// conservative — they can only push toward the hang verdict, never
+	// suppress one.
+	arrived := m.okScratch
 	for i := 0; i < n; i++ {
-		first[i] = m.trace(i)
+		first[i], arrived[i] = m.probeFresh(i)
 	}
 	p.Sleep(gap)
-	if m.w.Done() {
-		return true // completed while we checked: clearly not hung
+	if m.w.Done() || m.stopped {
+		return true
 	}
 	for i := 0; i < n; i++ {
-		if stack.CompareTraces(first[i], m.trace(i)) == stack.SlowProgress {
+		if !arrived[i] {
+			continue
+		}
+		sec, ok := m.probeFresh(i)
+		if !ok {
+			continue
+		}
+		if stack.CompareTraces(first[i], sec) == stack.SlowProgress {
 			return true
 		}
 	}
@@ -571,29 +916,51 @@ func (m *Monitor) slowdownCheck(p *sim.Proc) bool {
 
 // identifyFaulty scans every rank FaultScans times, FaultScanGap apart,
 // and returns the ranks observed OUT_MPI in every scan — the paper's §4
-// persistence rule that excludes busy-wait flickers.
+// persistence rule that excludes busy-wait flickers. Under chaos a
+// rank's probe can be lost mid-scan; a lost probe is no evidence either
+// way, but a rank is only accused if at least one scan actually
+// observed it OUT_MPI — the monitor never accuses a rank it could not
+// see at all.
 func (m *Monitor) identifyFaulty(p *sim.Proc) []int {
 	n := m.w.Size()
 	persistent := make([]bool, n)
 	for i := range persistent {
 		persistent[i] = true
 	}
+	var observed []int
+	if m.chaosOn {
+		observed = make([]int, n)
+	}
 	for s := 0; s < m.cfg.FaultScans; s++ {
 		if s > 0 {
 			p.Sleep(m.cfg.FaultScanGap)
+			if m.stopped {
+				return nil // crashed mid-scan; run() discards the report
+			}
 		}
 		for i := 0; i < n; i++ {
 			if !persistent[i] {
 				continue
 			}
-			if m.trace(i).State != stack.OutMPI {
+			if !m.chaosOn {
+				if m.trace(i).State != stack.OutMPI {
+					persistent[i] = false
+				}
+				continue
+			}
+			tr, ok := m.probeFresh(i)
+			if !ok {
+				continue
+			}
+			observed[i]++
+			if tr.State != stack.OutMPI {
 				persistent[i] = false
 			}
 		}
 	}
 	var out []int
-	for i, ok := range persistent {
-		if ok {
+	for i, stayed := range persistent {
+		if stayed && (observed == nil || observed[i] > 0) {
 			out = append(out, i)
 		}
 	}

@@ -19,7 +19,63 @@ import (
 	"strings"
 
 	"parastack/internal/mpi"
+	"parastack/internal/stack"
 )
+
+// Verdicts of PartialDiagnosis. Unknown is the honest answer when the
+// evidence is too thin to classify a hang: under detector chaos (probe
+// loss, dead ranks) a diagnosis may run on a fraction of the world's
+// traces, and guessing from a fraction is how healthy ranks get
+// accused.
+const (
+	// Unknown means the trace set cannot support any classification.
+	Unknown = "unknown"
+	// ComputationError means some observed rank is outside MPI.
+	ComputationError = "computation-error"
+	// CommunicationError means every observed rank is inside MPI.
+	CommunicationError = "communication-error"
+)
+
+// PartialDiagnosis classifies a hang from whatever stack traces
+// actually arrived: traces maps rank → call chain (outermost first) for
+// the subset of the world that answered. It mirrors the paper's §4
+// rule — any rank persistently outside MPI makes the error
+// computational and that rank a suspect; all-inside-MPI means a
+// communication error — but degrades honestly: with no traces, or with
+// less than half the world observed, it returns Unknown and accuses
+// nobody. Ranks outside [0, size) and empty call chains are discarded
+// rather than trusted, so a corrupted partial capture can never panic
+// the diagnosis or put a phantom rank in the accusation list.
+func PartialDiagnosis(size int, traces map[int][]string) (verdict string, faulty []int) {
+	if size <= 0 {
+		return Unknown, nil
+	}
+	covered := 0
+	for rank, frames := range traces {
+		if rank < 0 || rank >= size || len(frames) == 0 {
+			continue
+		}
+		covered++
+		inMPI := false
+		for _, f := range frames {
+			if stack.IsMPIFrame(f) {
+				inMPI = true
+				break
+			}
+		}
+		if !inMPI {
+			faulty = append(faulty, rank)
+		}
+	}
+	if covered == 0 || covered*2 < size {
+		return Unknown, nil
+	}
+	if len(faulty) > 0 {
+		sort.Ints(faulty)
+		return ComputationError, faulty
+	}
+	return CommunicationError, nil
+}
 
 // StackGroup is one behavioral equivalence class: every rank whose
 // stack trace renders identically.

@@ -162,3 +162,65 @@ func TestGroupByStackHealthySnapshot(t *testing.T) {
 		t.Fatalf("groups cover %d ranks, want 8", total)
 	}
 }
+
+// TestPartialDiagnosis (satellite): with partial or empty trace sets —
+// the shape a chaos-degraded capture delivers — the diagnosis must
+// return Unknown rather than guess, never panic, and never accuse a
+// rank it has no evidence against.
+func TestPartialDiagnosis(t *testing.T) {
+	mpiTrace := []string{"main", "solver_step", "MPI_Allreduce"}
+	appTrace := []string{"main", "solver_step"}
+	cases := []struct {
+		name    string
+		size    int
+		traces  map[int][]string
+		verdict string
+		faulty  []int
+	}{
+		{"nil traces", 8, nil, Unknown, nil},
+		{"empty traces", 8, map[int][]string{}, Unknown, nil},
+		{"zero world", 0, map[int][]string{0: appTrace}, Unknown, nil},
+		{"negative world", -3, nil, Unknown, nil},
+		{"below half coverage", 8, map[int][]string{
+			0: mpiTrace, 1: mpiTrace, 2: appTrace,
+		}, Unknown, nil},
+		{"empty call chains do not count as coverage", 4, map[int][]string{
+			0: {}, 1: {}, 2: {}, 3: mpiTrace,
+		}, Unknown, nil},
+		{"out-of-range ranks discarded", 4, map[int][]string{
+			-1: appTrace, 7: appTrace, 0: mpiTrace,
+		}, Unknown, nil},
+		{"all observed in MPI", 4, map[int][]string{
+			0: mpiTrace, 1: mpiTrace, 2: mpiTrace, 3: mpiTrace,
+		}, CommunicationError, nil},
+		{"half coverage suffices", 4, map[int][]string{
+			1: mpiTrace, 3: mpiTrace,
+		}, CommunicationError, nil},
+		{"rank outside MPI accused", 4, map[int][]string{
+			0: mpiTrace, 1: appTrace, 2: mpiTrace, 3: mpiTrace,
+		}, ComputationError, []int{1}},
+		{"multiple faulty, sorted", 4, map[int][]string{
+			0: appTrace, 1: mpiTrace, 3: appTrace, 2: mpiTrace,
+		}, ComputationError, []int{0, 3}},
+		{"phantom rank cannot be accused", 4, map[int][]string{
+			9: appTrace, 0: mpiTrace, 1: mpiTrace,
+		}, CommunicationError, nil},
+	}
+	for _, c := range cases {
+		verdict, faulty := PartialDiagnosis(c.size, c.traces)
+		if verdict != c.verdict {
+			t.Errorf("%s: verdict %q, want %q", c.name, verdict, c.verdict)
+			continue
+		}
+		if len(faulty) != len(c.faulty) {
+			t.Errorf("%s: faulty %v, want %v", c.name, faulty, c.faulty)
+			continue
+		}
+		for i := range faulty {
+			if faulty[i] != c.faulty[i] {
+				t.Errorf("%s: faulty %v, want %v", c.name, faulty, c.faulty)
+				break
+			}
+		}
+	}
+}

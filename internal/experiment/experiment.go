@@ -12,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"parastack/internal/chaos"
 	"parastack/internal/core"
 	"parastack/internal/fault"
 	"parastack/internal/mpi"
@@ -54,6 +55,15 @@ type RunConfig struct {
 	// MinFaultTime excludes faults in the model-building phase, like
 	// the paper's discard rule (default 30s).
 	MinFaultTime time.Duration
+
+	// Chaos, when non-nil and enabled, fault-injects the detector's own
+	// machinery (see internal/chaos): probe loss and staleness,
+	// monitored-rank death, sampling-clock jitter, and — when the
+	// profile schedules one — a monitor crash followed by a
+	// Snapshot/RestoreMonitor failover. All chaos randomness derives
+	// from Seed, so runs stay seed-deterministic. Applies to the legacy
+	// Monitor slot.
+	Chaos *chaos.Profile
 
 	// Monitor attaches ParaStack when non-nil. Monitor, Timeout, and
 	// Watchdog are the legacy hard-wired detector slots, kept working
@@ -203,6 +213,11 @@ func Run(rc RunConfig) RunResult {
 		res.PlannedFail = plan.FaultyRanks()
 	}
 
+	var chInj *chaos.Injector
+	if rc.Chaos != nil && rc.Chaos.Enabled() {
+		chInj = chaos.NewInjector(*rc.Chaos, rc.Seed, procs)
+	}
+
 	var mon *core.Monitor
 	if rc.Monitor != nil {
 		cfg := *rc.Monitor
@@ -210,8 +225,35 @@ func Run(rc RunConfig) RunResult {
 		if cfg.Recorder == nil {
 			cfg.Recorder = rec
 		}
+		if chInj != nil && cfg.Chaos == nil {
+			cfg.Chaos = chInj
+		}
 		mon = core.New(w, cluster, cfg)
 		mon.Start()
+		if crashAt, downtime, crash := chInj.CrashPlan(); crash {
+			// Monitor failover: at the crash time, checkpoint and kill
+			// the monitor; after the downtime, restore a replacement
+			// from the checkpoint. The same materialized cfg (shared
+			// recorder included) makes degradation counters accumulate
+			// across the failover, and the post-run reads below follow
+			// `mon` to whichever incarnation is last.
+			monCfg := cfg
+			eng.At(sim.Time(crashAt), func() {
+				if w.Done() || mon.Report() != nil {
+					return // verdict already out, or nothing left to watch
+				}
+				snap := mon.Snapshot()
+				mon.Stop()
+				eng.After(downtime, func() {
+					if w.Done() {
+						return
+					}
+					restored := core.RestoreMonitor(w, cluster, monCfg, snap)
+					restored.Start()
+					mon = restored
+				})
+			})
+		}
 	}
 	var tod *timeout.FixedIK
 	if rc.Timeout != nil {

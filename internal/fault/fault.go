@@ -8,6 +8,8 @@ package fault
 import (
 	"fmt"
 	"math/rand"
+	"sort"
+	"strings"
 	"time"
 
 	"parastack/internal/mpi"
@@ -48,22 +50,40 @@ func (k Kind) String() string {
 	}
 }
 
-// Parse maps a fault-kind name to its Kind. It accepts both the String
-// forms ("computation-hang") and the short CLI spellings the commands
-// use ("computation", "node", "deadlock", "none").
-func Parse(name string) (Kind, error) {
-	switch name {
-	case "none", "":
-		return None, nil
-	case "computation", "computation-hang":
-		return ComputationHang, nil
-	case "node", "node-freeze":
-		return NodeFreeze, nil
-	case "deadlock", "communication-deadlock":
-		return CommunicationDeadlock, nil
-	default:
-		return None, fmt.Errorf("fault: unknown kind %q (have none, computation, node, deadlock)", name)
+// kindNames maps every accepted fault-kind spelling to its Kind: the
+// String forms ("computation-hang") and the short CLI spellings the
+// commands use ("computation", "node", "deadlock", "none"). "" also
+// parses as None but is not advertised by Names.
+var kindNames = map[string]Kind{
+	"none":                   None,
+	"computation":            ComputationHang,
+	"computation-hang":       ComputationHang,
+	"node":                   NodeFreeze,
+	"node-freeze":            NodeFreeze,
+	"deadlock":               CommunicationDeadlock,
+	"communication-deadlock": CommunicationDeadlock,
+}
+
+// Names lists every accepted fault-kind spelling, sorted.
+func Names() []string {
+	out := make([]string, 0, len(kindNames))
+	for n := range kindNames {
+		out = append(out, n)
 	}
+	sort.Strings(out)
+	return out
+}
+
+// Parse maps a fault-kind name to its Kind; unknown names produce an
+// error enumerating every accepted spelling.
+func Parse(name string) (Kind, error) {
+	if name == "" {
+		return None, nil
+	}
+	if k, ok := kindNames[name]; ok {
+		return k, nil
+	}
+	return None, fmt.Errorf("fault: unknown kind %q (accepted: %s)", name, strings.Join(Names(), ", "))
 }
 
 // deadTag is a message tag no workload uses; a receive on it from the

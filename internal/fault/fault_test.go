@@ -2,6 +2,7 @@ package fault
 
 import (
 	"math/rand"
+	"strings"
 	"testing"
 	"time"
 
@@ -131,5 +132,57 @@ func TestNewRandomPlanBounds(t *testing.T) {
 	p := NewRandomPlan(rng, ComputationHang, 4, 3, 10, 1)
 	if p.Iteration != 2 {
 		t.Fatalf("clamped iteration = %d, want 2", p.Iteration)
+	}
+}
+
+// TestParseAllSpellings (satellite): every accepted spelling maps to
+// its kind, round-tripping through String for the canonical forms.
+func TestParseAllSpellings(t *testing.T) {
+	cases := []struct {
+		name string
+		want Kind
+	}{
+		{"", None},
+		{"none", None},
+		{"computation", ComputationHang},
+		{"computation-hang", ComputationHang},
+		{"node", NodeFreeze},
+		{"node-freeze", NodeFreeze},
+		{"deadlock", CommunicationDeadlock},
+		{"communication-deadlock", CommunicationDeadlock},
+	}
+	for _, c := range cases {
+		got, err := Parse(c.name)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.name, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("Parse(%q) = %v, want %v", c.name, got, c.want)
+		}
+	}
+	// The table above and the registry must agree on the accepted set.
+	if len(cases)-1 != len(Names()) {
+		t.Errorf("test table covers %d spellings, registry has %d: %v", len(cases)-1, len(Names()), Names())
+	}
+	// Every String form must parse back to its kind.
+	for _, k := range []Kind{None, ComputationHang, NodeFreeze, CommunicationDeadlock} {
+		if got, err := Parse(k.String()); err != nil || got != k {
+			t.Errorf("Parse(%v.String()) = %v, %v", k, got, err)
+		}
+	}
+}
+
+// TestParseUnknownEnumeratesSpellings (satellite): the error for a typo
+// must list every accepted spelling.
+func TestParseUnknownEnumeratesSpellings(t *testing.T) {
+	_, err := Parse("dedlock")
+	if err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	for _, name := range Names() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q does not mention accepted spelling %q", err, name)
+		}
 	}
 }

@@ -172,6 +172,12 @@ func Fingerprint(rc experiment.RunConfig) string {
 		b.WriteString("|tod=nil")
 	}
 	fmt.Fprintf(&b, "|wd=%v", rc.Watchdog)
+	if rc.Chaos != nil && rc.Chaos.Enabled() {
+		// Appended only when chaos is actually on, so every chaos-free
+		// configuration keeps the fingerprint it had before the chaos
+		// axis existed and old logs stay resumable.
+		fmt.Fprintf(&b, "|chaos=%+v", *rc.Chaos)
+	}
 	if len(rc.ExtraDetectors) > 0 {
 		// Factories are opaque: give the key a per-process marker so it
 		// can never falsely match a logged record.

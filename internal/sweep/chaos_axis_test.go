@@ -1,0 +1,99 @@
+package sweep
+
+import (
+	"strings"
+	"testing"
+
+	"parastack/internal/chaos"
+)
+
+// TestChaosAxisExpansion: the chaos axis multiplies the grid like any
+// other, chaos-free cells keep the historical key shape (old logs must
+// stay resumable), and materialization hands the profile to the run.
+func TestChaosAxisExpansion(t *testing.T) {
+	spec := testSpec()
+	plain, err := spec.Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Chaos = []string{"none", "heavy"}
+	cells, err := spec.Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 2*len(plain) {
+		t.Fatalf("chaos axis of 2 produced %d cells from %d", len(cells), len(plain))
+	}
+	for i, c := range plain {
+		// "none" cells come first per (workload, platform, fault) point
+		// and must key identically to a spec with no chaos axis at all.
+		noneIdx := (i/spec.Seeds)*2*spec.Seeds + i%spec.Seeds
+		if got := cells[noneIdx]; got.Key() != c.Key() {
+			t.Fatalf("cell %d: chaos-free key changed: %q vs %q", i, got.Key(), c.Key())
+		}
+	}
+	sawHeavy := false
+	for _, c := range cells {
+		switch c.Chaos {
+		case "none":
+			if strings.Contains(c.Key(), "chaos=") {
+				t.Fatalf("chaos-free key mentions chaos: %q", c.Key())
+			}
+			rc, err := spec.RunConfig(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rc.Chaos != nil {
+				t.Fatal("none cell materialized a chaos profile")
+			}
+		case "heavy":
+			sawHeavy = true
+			if !strings.Contains(c.Key(), "chaos=heavy") {
+				t.Fatalf("heavy key lacks chaos segment: %q", c.Key())
+			}
+			rc, err := spec.RunConfig(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rc.Chaos == nil || rc.Chaos.Name != "heavy" {
+				t.Fatalf("heavy cell materialized %+v", rc.Chaos)
+			}
+		}
+	}
+	if !sawHeavy {
+		t.Fatal("no heavy cells in expansion")
+	}
+}
+
+// TestChaosAxisValidation: typos fail at expansion, not mid-sweep.
+func TestChaosAxisValidation(t *testing.T) {
+	spec := testSpec()
+	spec.Chaos = []string{"hvay"}
+	if _, err := spec.Cells(); err == nil {
+		t.Fatal("Cells accepted an unknown chaos profile")
+	}
+}
+
+// TestFingerprintChaos: a disabled/absent chaos profile keeps the
+// pre-chaos fingerprint (old campaign logs resume); an enabled one
+// changes it (chaotic and clean campaigns never share results).
+func TestFingerprintChaos(t *testing.T) {
+	spec := testSpec()
+	rc, err := spec.RunConfig(Cell{Workload: spec.Workloads[0], Platform: "tardis", Chaos: "none"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := Fingerprint(rc)
+	disabled := rc
+	disabled.Chaos = &chaos.Profile{Name: "noop"}
+	if Fingerprint(disabled) != fp {
+		t.Error("a no-op chaos profile changed the fingerprint")
+	}
+	heavy := rc
+	if heavy.Chaos, err = chaos.Parse("heavy"); err != nil {
+		t.Fatal(err)
+	}
+	if Fingerprint(heavy) == fp {
+		t.Error("enabling chaos kept the fingerprint")
+	}
+}

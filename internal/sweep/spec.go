@@ -20,6 +20,7 @@ import (
 	"os"
 	"time"
 
+	"parastack/internal/chaos"
 	"parastack/internal/core"
 	"parastack/internal/experiment"
 	"parastack/internal/fault"
@@ -60,6 +61,10 @@ type Spec struct {
 	// Faults are fault-kind names understood by fault.Parse ("none",
 	// "computation", "node", "deadlock").
 	Faults []string `json:"faults"`
+	// Chaos are detector-chaos profile names understood by chaos.Parse
+	// ("none", "light", "probe-loss", "heavy", …); empty means ["none"].
+	// Each name multiplies the grid like any other axis.
+	Chaos []string `json:"chaos,omitempty"`
 	// Seeds is how many seeds each (workload, platform, fault) point
 	// runs: Seed0, Seed0+1, … (default 1).
 	Seeds int `json:"seeds"`
@@ -75,19 +80,25 @@ type Spec struct {
 
 // Cell is one point of an expanded grid: a fully determined run
 // identity. Index is the cell's position in the deterministic
-// expansion order (workloads, then platforms, faults, seeds).
+// expansion order (workloads, then platforms, faults, chaos, seeds).
 type Cell struct {
 	Index    int
 	Workload workload.Spec
 	Platform string
 	Fault    fault.Kind
+	Chaos    string
 	Seed     int64
 }
 
 // Key is the cell's stable identity in the results log: resume matches
 // completed cells by this string, never by index, so reordering a grid
-// cannot mis-attribute results.
+// cannot mis-attribute results. Chaos-free cells keep the historical
+// key shape (no chaos segment), so logs written before the chaos axis
+// existed still resume cleanly.
 func (c Cell) Key() string {
+	if c.Chaos != "" && c.Chaos != "none" {
+		return fmt.Sprintf("%s|%s|%s|chaos=%s|seed=%d", c.Workload, c.Platform, c.Fault, c.Chaos, c.Seed)
+	}
 	return fmt.Sprintf("%s|%s|%s|seed=%d", c.Workload, c.Platform, c.Fault, c.Seed)
 }
 
@@ -131,18 +142,30 @@ func (s Spec) Cells() ([]Cell, error) {
 		}
 		kinds[i] = k
 	}
-	cells := make([]Cell, 0, len(s.Workloads)*len(s.Platforms)*len(kinds)*s.Seeds)
+	chaosNames := s.Chaos
+	if len(chaosNames) == 0 {
+		chaosNames = []string{"none"}
+	}
+	for _, name := range chaosNames {
+		if _, err := chaos.Parse(name); err != nil {
+			return nil, fmt.Errorf("sweep: %w", err)
+		}
+	}
+	cells := make([]Cell, 0, len(s.Workloads)*len(s.Platforms)*len(kinds)*len(chaosNames)*s.Seeds)
 	for _, w := range s.Workloads {
 		for _, p := range s.Platforms {
 			for _, k := range kinds {
-				for i := 0; i < s.Seeds; i++ {
-					cells = append(cells, Cell{
-						Index:    len(cells),
-						Workload: w,
-						Platform: p,
-						Fault:    k,
-						Seed:     s.Seed0 + int64(i),
-					})
+				for _, ch := range chaosNames {
+					for i := 0; i < s.Seeds; i++ {
+						cells = append(cells, Cell{
+							Index:    len(cells),
+							Workload: w,
+							Platform: p,
+							Fault:    k,
+							Chaos:    ch,
+							Seed:     s.Seed0 + int64(i),
+						})
+					}
 				}
 			}
 		}
@@ -167,6 +190,11 @@ func (s Spec) RunConfig(c Cell) (experiment.RunConfig, error) {
 		Seed:      c.Seed,
 		FaultKind: c.Fault,
 	}
+	chProf, err := chaos.Parse(c.Chaos)
+	if err != nil {
+		return experiment.RunConfig{}, fmt.Errorf("sweep: %w", err)
+	}
+	rc.Chaos = chProf
 	if s.MinFaultSec > 0 {
 		rc.MinFaultTime = time.Duration(s.MinFaultSec * float64(time.Second))
 	}

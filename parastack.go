@@ -46,6 +46,7 @@ import (
 	"math/rand"
 	"time"
 
+	"parastack/internal/chaos"
 	"parastack/internal/core"
 	"parastack/internal/detect"
 	"parastack/internal/experiment"
@@ -281,6 +282,52 @@ func NewRandomFaultPlan(rng *rand.Rand, kind FaultKind, size, iters, minIter, pp
 
 // NewInjector wraps a plan for one run.
 func NewInjector(p FaultPlan) *Injector { return fault.NewInjector(p) }
+
+// FaultKindNames lists every accepted fault-kind spelling.
+func FaultKindNames() []string { return fault.Names() }
+
+// Detector chaos: fault injection against ParaStack itself (package
+// internal/chaos) and the monitor's failover checkpoint.
+type (
+	// ChaosProfile declares how a run perturbs its own detector: probe
+	// loss/staleness, rank deaths, clock jitter, monitor crash.
+	ChaosProfile = chaos.Profile
+	// ChaosInjector drives one run's detector chaos deterministically
+	// from the run seed.
+	ChaosInjector = chaos.Injector
+	// ProbeFate is the outcome chaos assigns one probe RPC.
+	ProbeFate = chaos.Fate
+	// MonitorSnapshot is a restartable checkpoint of a monitor's learned
+	// state (Monitor.Snapshot / RestoreMonitor).
+	MonitorSnapshot = core.Snapshot
+)
+
+// Probe fates.
+const (
+	ProbeOK    = chaos.FateOK
+	ProbeLost  = chaos.FateLost
+	ProbeStale = chaos.FateStale
+)
+
+// ParseChaosProfile resolves a chaos profile name ("none", "light",
+// "probe-loss", "heavy", …); "none" yields nil (chaos disabled) and
+// unknown names an error enumerating every accepted one.
+func ParseChaosProfile(name string) (*ChaosProfile, error) { return chaos.Parse(name) }
+
+// ChaosProfileNames lists the named chaos profiles.
+func ChaosProfileNames() []string { return chaos.Names() }
+
+// NewChaosInjector materializes a chaos profile for one run of size
+// ranks, deriving all randomness from seed.
+func NewChaosInjector(p ChaosProfile, seed int64, size int) *ChaosInjector {
+	return chaos.NewInjector(p, seed, size)
+}
+
+// RestoreMonitor builds a monitor resuming from a checkpoint — the
+// failover path after a monitor crash. Call Start on the result.
+func RestoreMonitor(w *World, cluster *Cluster, cfg MonitorConfig, snap MonitorSnapshot) *Monitor {
+	return core.RestoreMonitor(w, cluster, cfg, snap)
+}
 
 // ProbeSout attaches a zero-cost Sout probe to w (Figures 2/3).
 func ProbeSout(w *World, interval, stop time.Duration) *[]SoutPoint {
