@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race fmt-check bench bench-json bench-smoke sweep-smoke fuzz-smoke chaos-smoke ci
+.PHONY: all build test vet race fmt-check bench bench-json bench-smoke bench-scale-smoke sweep-smoke fuzz-smoke chaos-smoke ci
 
 all: build test
 
@@ -28,16 +28,26 @@ fmt-check:
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...
 
-# Regenerate the checked-in performance artifact: ns/op, allocs/op and
-# events/sec for the engine/monitor/campaign hot paths. See the
-# "Benchmarks" section of README.md for the schema.
+# Regenerate the checked-in performance artifacts: ns/op, allocs/op and
+# events/sec for the engine/monitor/campaign hot paths
+# (BENCH_engine.json) and for the rank-count scaling sweep, 256 → 16384
+# ranks (BENCH_scale.json). See the "Benchmarks" section of README.md
+# for the schema.
 bench-json:
-	$(GO) run ./cmd/psbench -bench-json BENCH_engine.json
+	$(GO) run ./cmd/psbench -bench-json BENCH_engine.json -bench-scale-json BENCH_scale.json
 
 # One-iteration pass over every benchmark: catches bit-rot in bench
 # code without spending time on measurement.
 bench-smoke:
 	$(GO) test -run=^$$ -bench=. -benchtime=1x ./...
+
+# Scaling-pass gate: a reduced rank sweep asserting events/sec does not
+# collapse with world size, plus the steady-state allocation ceilings
+# on the campaign reuse path (see internal/bench/scale_test.go and
+# internal/experiment/runner_test.go).
+bench-scale-smoke:
+	$(GO) test -run 'TestScaleSmoke$$|TestFaultyRunAllocCeiling$$' -count=1 -v ./internal/bench
+	$(GO) test -run 'TestRunnerSteadyStateAllocs$$' -count=1 -v ./internal/experiment
 
 # Kill-and-resume check on the tiny built-in grid: run half the sweep
 # (-halt-after is the deterministic crash stand-in), then resume and
@@ -62,4 +72,4 @@ chaos-smoke:
 	$(GO) test -race -run 'TestChaosSmoke$$' -count=1 -v ./internal/chaos
 
 # The gate PRs must pass.
-ci: fmt-check vet build race bench-smoke sweep-smoke fuzz-smoke chaos-smoke
+ci: fmt-check vet build race bench-smoke bench-scale-smoke sweep-smoke fuzz-smoke chaos-smoke

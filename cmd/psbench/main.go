@@ -25,9 +25,10 @@
 //
 // -bench-json FILE runs the fixed engine/monitor/campaign
 // microbenchmark suite and writes the measurements (ns/op, allocs/op,
-// events/sec) to FILE; see the "Benchmarks" section of README.md for
-// the schema. `make bench-json` regenerates the checked-in
-// BENCH_engine.json.
+// events/sec) to FILE; -bench-scale-json FILE does the same for the
+// rank-count scaling sweep (256 → 16384 ranks). See the "Benchmarks"
+// section of README.md for the schema. `make bench-json` regenerates
+// the checked-in BENCH_engine.json and BENCH_scale.json.
 package main
 
 import (
@@ -53,12 +54,21 @@ func main() {
 	traceFile := flag.String("trace", "", "write a JSONL event trace of every run to this file")
 	metrics := flag.Bool("metrics", false, "print counter totals over all runs at the end")
 	benchJSON := flag.String("bench-json", "", "run the microbenchmark suite and write results to this file")
+	benchScaleJSON := flag.String("bench-scale-json", "", "run the rank-count scaling suite and write results to this file")
 	flag.Parse()
 
-	if *benchJSON != "" {
-		if err := runBenchJSON(*benchJSON); err != nil {
-			fmt.Fprintln(os.Stderr, "psbench:", err)
-			os.Exit(1)
+	if *benchJSON != "" || *benchScaleJSON != "" {
+		if *benchJSON != "" {
+			if err := runBenchJSON(*benchJSON); err != nil {
+				fmt.Fprintln(os.Stderr, "psbench:", err)
+				os.Exit(1)
+			}
+		}
+		if *benchScaleJSON != "" {
+			if err := runBenchScaleJSON(*benchScaleJSON); err != nil {
+				fmt.Fprintln(os.Stderr, "psbench:", err)
+				os.Exit(1)
+			}
 		}
 		return
 	}
@@ -159,6 +169,30 @@ func runBenchJSON(path string) error {
 	start := time.Now()
 	fmt.Printf("running microbenchmark suite (this takes a minute)...\n")
 	rep := bench.RunSuite()
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	bench.WriteSummary(os.Stdout, rep)
+	fmt.Printf("wrote %s (wall time %v)\n", path, time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// runBenchScaleJSON runs the rank-count scaling sweep, writes the JSON
+// artifact, and echoes a human-readable summary to stdout.
+func runBenchScaleJSON(path string) error {
+	start := time.Now()
+	fmt.Printf("running rank-count scaling suite (the 16384-rank point takes a few seconds per run)...\n")
+	rep := bench.RunScaleSuite()
 	f, err := os.Create(path)
 	if err != nil {
 		return err

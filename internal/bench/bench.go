@@ -56,6 +56,9 @@ type Result struct {
 	BytesPerOp   int64   `json:"bytes_per_op"`
 	AllocsPerOp  int64   `json:"allocs_per_op"`
 	EventsPerSec float64 `json:"events_per_sec,omitempty"`
+	// Ranks is the simulated world size for scaling benchmarks
+	// (BENCH_scale.json); zero for the fixed engine/monitor suite.
+	Ranks int `json:"ranks,omitempty"`
 }
 
 // Report is the full artifact written to BENCH_engine.json.
@@ -218,10 +221,13 @@ func benchFaultyRun(b *testing.B) {
 	p.Iters = 400
 	p.Compute = 120 * time.Millisecond
 	p.HaloBytes = 16 << 10
+	// One Runner across iterations: this benchmarks the campaign
+	// steady state, where engine and world are reset, not rebuilt.
+	rn := experiment.NewRunner()
 	var events uint64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res := experiment.Run(experiment.RunConfig{
+		res := rn.Run(experiment.RunConfig{
 			Params:    p,
 			Platform:  noise.Tardis(),
 			PPN:       8,

@@ -162,8 +162,32 @@ type RunResult struct {
 	Metrics obs.Snapshot
 }
 
-// Run executes one simulation.
-func Run(rc RunConfig) RunResult {
+// Runner executes simulations while retaining the engine and world
+// across calls: each Run resets them instead of reallocating, so a
+// campaign worker's steady-state run reuses the event free lists, rank
+// structures, queue backing arrays, and message/request/collective-op
+// pools of the previous run. Results are bit-identical to fresh
+// construction (sim.Engine.Reset restarts virtual time, sequence
+// numbers, and the seeded random stream from zero).
+//
+// A Runner is not safe for concurrent use; give each worker its own.
+type Runner struct {
+	eng *sim.Engine
+	w   *mpi.World
+}
+
+// NewRunner returns an empty Runner; its first Run allocates the engine
+// and world, later Runs reuse them.
+func NewRunner() *Runner { return &Runner{} }
+
+// Run executes one simulation on a fresh engine and world. For
+// campaigns, a reused Runner avoids the per-run construction cost.
+func Run(rc RunConfig) RunResult { return NewRunner().Run(rc) }
+
+// Run executes one simulation, reusing the Runner's engine and world
+// from the previous call when possible (the world is rebuilt only when
+// the process count changes).
+func (rn *Runner) Run(rc RunConfig) RunResult {
 	p := rc.Params
 	procs := p.Procs
 	ppn := rc.PPN
@@ -178,12 +202,24 @@ func Run(rc RunConfig) RunResult {
 		ppn = procs // degenerate single-node layout
 	}
 
-	eng := sim.NewEngine(rc.Seed)
+	if rn.eng == nil {
+		rn.eng = sim.NewEngine(rc.Seed)
+	} else {
+		// Engine first, then world: Reset drains the stale event queue
+		// whose callbacks reference the old run's pooled requests.
+		rn.eng.Reset(rc.Seed)
+	}
+	eng := rn.eng
 	rec := obs.New(rc.Trace)
 	rec.SetRun(rc.Seed)
 	eng.SetRecorder(rec)
 	eng.TraceProcs(rc.TraceProcs)
-	w := mpi.NewWorld(eng, procs, rc.Platform.Latency())
+	if rn.w == nil || rn.w.Size() != procs {
+		rn.w = mpi.NewWorld(eng, procs, rc.Platform.Latency())
+	} else {
+		rn.w.Reset(rc.Platform.Latency())
+	}
+	w := rn.w
 	speed := rc.Platform.Speed
 	if speed <= 0 {
 		speed = 1
@@ -384,10 +420,13 @@ func Campaign(base RunConfig, n int, seed0 int64) []RunResult {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// One Runner per worker: runs within a worker reuse the
+			// engine/world; workers never share simulator state.
+			rn := NewRunner()
 			for i := range next {
 				rc := base
 				rc.Seed = seed0 + int64(i)
-				out[i] = Run(rc)
+				out[i] = rn.Run(rc)
 			}
 		}()
 	}

@@ -1,0 +1,89 @@
+package experiment
+
+import (
+	"reflect"
+	"testing"
+
+	"parastack/internal/core"
+	"parastack/internal/fault"
+	"parastack/internal/noise"
+)
+
+// goldenKinds spans every reuse-sensitive teardown shape: clean runs
+// (everything drains), computation hangs (ranks parked in collectives,
+// pooled waiter slices still held by ops), node freezes (a whole
+// node's ranks parked OUT_MPI), and communication deadlocks (the
+// injector's never-matched receive left in the posted queue).
+var goldenKinds = []fault.Kind{
+	fault.None,
+	fault.ComputationHang,
+	fault.NodeFreeze,
+	fault.CommunicationDeadlock,
+}
+
+// TestRunnerBitIdenticalToFreshRuns is the golden determinism gate for
+// the memory-reuse pass: a 16-run campaign (4 fault shapes × 4 seeds)
+// executed on one reused Runner must produce RunResults bit-identical
+// to fresh engine/world construction per run — same verdicts, same
+// virtual timestamps, same event counts, same metric snapshots. Any
+// state leaking across Reset (a stale queue entry, a dirty pooled
+// object, an unreset counter or random stream) shows up here.
+func TestRunnerBitIdenticalToFreshRuns(t *testing.T) {
+	rn := NewRunner()
+	for _, kind := range goldenKinds {
+		for seed := int64(1); seed <= 4; seed++ {
+			rc := RunConfig{
+				Params:    smallParams(),
+				Platform:  noise.Tardis(),
+				PPN:       8,
+				Seed:      seed,
+				FaultKind: kind,
+				Monitor:   &core.Config{},
+			}
+			fresh := Run(rc)
+			reused := rn.Run(rc)
+			if !reflect.DeepEqual(fresh, reused) {
+				t.Errorf("kind=%v seed=%d: reused Runner diverged from fresh run\nfresh:  %+v\nreused: %+v",
+					kind, seed, fresh, reused)
+			}
+		}
+	}
+}
+
+// TestRunnerSteadyStateAllocs pins the per-run allocation budget of the
+// reuse path. A fresh 32-rank run pre-pooling allocated ~115k times;
+// the issue's acceptance bar is 5x lower (23k). Steady state actually
+// lands around a few hundred (goroutine spawns, the metrics snapshot,
+// result slices), so the ceiling catches any pool that silently stops
+// being reused without flaking on harness noise.
+func TestRunnerSteadyStateAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full simulations; skipped in -short")
+	}
+	rn := NewRunner()
+	rc := RunConfig{
+		Params:    smallParams(),
+		Platform:  noise.Tardis(),
+		PPN:       8,
+		FaultKind: fault.ComputationHang,
+		Monitor:   &core.Config{},
+	}
+	seed := int64(0)
+	run := func() {
+		seed++
+		c := rc
+		c.Seed = seed
+		if res := rn.Run(c); res.Events == 0 {
+			t.Fatal("run produced no events")
+		}
+	}
+	run() // warm the pools: first run constructs engine, world, backing arrays
+	run()
+	avg := testing.AllocsPerRun(3, run)
+	const ceiling = 5_000
+	if avg > ceiling {
+		t.Errorf("steady-state run allocates %.0f/op, ceiling %d (pre-pooling baseline ~115k)", avg, ceiling)
+	} else {
+		t.Logf("steady-state run: %.0f allocs/op (ceiling %d)", avg, ceiling)
+	}
+}

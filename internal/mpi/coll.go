@@ -67,10 +67,49 @@ type collOp struct {
 
 	arrived  int
 	seen     []bool
-	waiters  []*sim.Proc // members suspended inside the op
+	waiters  []*sim.Proc // members suspended inside the op (pooled backing array)
 	rootHere bool
 	rootWait *sim.Proc // root suspended waiting for all (Gather/Reduce)
 	left     int       // members that have completed the op
+}
+
+// getCollOp pops a pooled collective op (or allocates one) reset for a
+// fresh collective of the given shape. The seen slice's backing array
+// is reused when large enough.
+func (w *World) getCollOp(kind CollKind, root, bytes, size int) *collOp {
+	var op *collOp
+	if n := len(w.freeOps); n > 0 {
+		op = w.freeOps[n-1]
+		w.freeOps[n-1] = nil
+		w.freeOps = w.freeOps[:n-1]
+		op.kind, op.root, op.bytes = kind, root, bytes
+		op.arrived, op.left = 0, 0
+		op.rootHere, op.rootWait = false, nil
+		if cap(op.seen) >= size {
+			op.seen = op.seen[:size]
+			for i := range op.seen {
+				op.seen[i] = false
+			}
+		} else {
+			op.seen = make([]bool, size)
+		}
+		return op
+	}
+	return &collOp{kind: kind, root: root, bytes: bytes, seen: make([]bool, size)}
+}
+
+// putCollOp returns a finished (or torn-down) op to the pool. An op
+// abandoned mid-flight — a deadlocked or faulted collective reclaimed
+// by World.Reset — may still hold a waiter list; its backing array goes
+// back to the engine's slice pool so fault campaigns don't leak pooled
+// slices.
+func (w *World) putCollOp(op *collOp) {
+	if op.waiters != nil {
+		w.eng.PutProcSlice(op.waiters)
+		op.waiters = nil
+	}
+	op.rootWait = nil
+	w.freeOps = append(w.freeOps, op)
 }
 
 // collective runs one collective call for member r of communicator c.
@@ -78,7 +117,8 @@ type collOp struct {
 // blocks according to the collective's dependence structure and charges
 // the latency model on completion.
 func (c *Comm) collective(r *Rank, kind CollKind, root, bytes int) {
-	defer r.enterMPI(kind.String())()
+	r.enterMPI(kind.String())
+	defer r.exitMPI()
 
 	me := c.RankOf(r)
 	w := c.w
@@ -86,7 +126,7 @@ func (c *Comm) collective(r *Rank, kind CollKind, root, bytes int) {
 	c.collSeq[r.ID()]++
 	op, ok := c.colls[seq]
 	if !ok {
-		op = &collOp{kind: kind, root: root, bytes: bytes, seen: make([]bool, c.Size())}
+		op = w.getCollOp(kind, root, bytes, c.Size())
 		c.colls[seq] = op
 	}
 	if op.kind != kind || op.root != root {
@@ -110,6 +150,7 @@ func (c *Comm) collective(r *Rank, kind CollKind, root, bytes int) {
 		op.left++
 		if op.left == size {
 			delete(c.colls, seq)
+			w.putCollOp(op)
 		}
 	}
 	suspend := func() {
@@ -120,14 +161,16 @@ func (c *Comm) collective(r *Rank, kind CollKind, root, bytes int) {
 
 	if op.kind.syncLike() {
 		if op.arrived == size {
-			// Last arriver releases everyone.
+			// Last arriver releases everyone with one group-wake event:
+			// a single heap insertion regardless of communicator size.
 			releaseAt := now + w.lat.collective(rng, kind, op.bytes, size)
-			for _, p := range op.waiters {
-				p.WakeAt(releaseAt)
-			}
-			op.waiters = nil
+			w.eng.WakeAllAt(releaseAt, op.waiters)
+			op.waiters = nil // ownership passed to the engine
 			r.proc.Sleep(releaseAt - now)
 		} else {
+			if op.waiters == nil {
+				op.waiters = w.eng.GetProcSlice(size - 1)
+			}
 			op.waiters = append(op.waiters, r.proc)
 			suspend()
 		}
@@ -142,14 +185,15 @@ func (c *Comm) collective(r *Rank, kind CollKind, root, bytes int) {
 		if me == root {
 			op.rootHere = true
 			releaseAt := now + w.lat.collective(rng, kind, op.bytes, size)
-			for _, p := range op.waiters {
-				p.WakeAt(releaseAt)
-			}
-			op.waiters = nil
+			w.eng.WakeAllAt(releaseAt, op.waiters)
+			op.waiters = nil // ownership passed to the engine
 			r.proc.Sleep(w.lat.SendOverhead)
 		} else if op.rootHere {
 			r.proc.Sleep(w.lat.collective(rng, kind, op.bytes, size))
 		} else {
+			if op.waiters == nil {
+				op.waiters = w.eng.GetProcSlice(size - 1)
+			}
 			op.waiters = append(op.waiters, r.proc)
 			suspend()
 		}

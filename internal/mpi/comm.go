@@ -17,7 +17,7 @@ type Comm struct {
 	index map[int]int // world rank → comm rank
 
 	colls   map[uint64]*collOp
-	collSeq map[int]uint64 // per member (world rank) call counter
+	collSeq []uint64 // per member call counter, indexed by world rank
 }
 
 // newComm builds a communicator over the given world ranks (order
@@ -31,7 +31,7 @@ func newComm(w *World, members []int) *Comm {
 		ranks:   append([]int(nil), members...),
 		index:   make(map[int]int, len(members)),
 		colls:   make(map[uint64]*collOp),
-		collSeq: make(map[int]uint64, len(members)),
+		collSeq: make([]uint64, w.Size()),
 	}
 	for i, r := range c.ranks {
 		if r < 0 || r >= w.Size() {
@@ -42,7 +42,25 @@ func newComm(w *World, members []int) *Comm {
 		}
 		c.index[r] = i
 	}
+	if w.worldComm != nil {
+		// Derived (split) communicators are per-run objects; track them
+		// so World.Reset can reclaim their in-flight collective state
+		// (pooled waiter slices, ops) after hung runs.
+		w.derived = append(w.derived, c)
+	}
 	return c
+}
+
+// reset clears the communicator's collective-matching state for a new
+// run, returning in-flight ops (a hung run's leftovers) to the pools.
+func (c *Comm) reset() {
+	for seq, op := range c.colls {
+		c.w.putCollOp(op)
+		delete(c.colls, seq)
+	}
+	for i := range c.collSeq {
+		c.collSeq[i] = 0
+	}
 }
 
 // NewComm creates a communicator over the given world ranks.

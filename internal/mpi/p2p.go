@@ -18,6 +18,12 @@ type Request struct {
 	done   bool
 	msg    *message
 	waiter *sim.Proc // proc blocked in Wait on this request
+
+	// onComplete caches the complete method value so attach schedules
+	// its event without allocating a closure per message. It is built
+	// once per Request and survives pooling (it is bound to this struct,
+	// whose identity is stable across reuse).
+	onComplete func()
 }
 
 // Done reports whether the request has completed. Unlike Test, it does
@@ -49,7 +55,8 @@ func (q *Request) complete() {
 // (this matches small/medium messages in real MPI implementations, and
 // is the style the NPB-like workloads use).
 func (r *Rank) Send(dst, tag, bytes int) {
-	defer r.enterMPI("MPI_Send")()
+	r.enterMPI("MPI_Send")
+	defer r.exitMPI()
 	r.startSend(dst, tag, bytes)
 	r.proc.Sleep(r.w.lat.SendOverhead)
 }
@@ -58,8 +65,11 @@ func (r *Rank) Send(dst, tag, bytes int) {
 // buffering means the request is immediately completable; Wait/Test on
 // it still model their call cost.
 func (r *Rank) Isend(dst, tag, bytes int) *Request {
-	defer r.enterMPI("MPI_Isend")()
+	r.enterMPI("MPI_Isend")
+	defer r.exitMPI()
 	r.startSend(dst, tag, bytes)
+	// Isend handles escape to user code indefinitely, so they never
+	// come from (or return to) the request pool.
 	return &Request{rank: r, done: true}
 }
 
@@ -69,12 +79,11 @@ func (r *Rank) startSend(dst, tag, bytes int) {
 	if dst < 0 || dst >= len(r.w.ranks) {
 		panic(fmt.Sprintf("mpi: send to invalid rank %d", dst))
 	}
-	m := &message{
-		src:      r.id,
-		tag:      tag,
-		bytes:    bytes,
-		arriveAt: r.proc.Now() + r.w.lat.p2p(r.w.eng.Rand(), bytes),
-	}
+	m := r.w.getMsg()
+	m.src = r.id
+	m.tag = tag
+	m.bytes = bytes
+	m.arriveAt = r.proc.Now() + r.w.lat.p2p(r.w.eng.Rand(), bytes)
 	r.msgSeq++
 	r.w.ranks[dst].deliver(m)
 }
@@ -83,8 +92,8 @@ func (r *Rank) startSend(dst, tag, bytes int) {
 // destination's posted receives (in post order), or queue it as
 // unexpected.
 func (dst *Rank) deliver(m *message) {
-	for _, q := range dst.posted {
-		if q.msg == nil && q.matches(m) {
+	for _, q := range dst.posted[dst.postedHead:] {
+		if q != nil && q.msg == nil && q.matches(m) {
 			q.attach(m)
 			return
 		}
@@ -102,12 +111,15 @@ func (q *Request) matches(m *message) bool {
 // at the message's arrival time (plus receive overhead).
 func (q *Request) attach(m *message) {
 	q.msg = m
+	if q.onComplete == nil {
+		q.onComplete = q.complete // one-time per Request; reused when pooled
+	}
 	eng := q.rank.w.eng
 	at := m.arriveAt + q.rank.w.lat.RecvOverhead
 	if at < eng.Now() {
 		at = eng.Now()
 	}
-	eng.At(at, q.complete)
+	eng.At(at, q.onComplete)
 }
 
 // Irecv posts a non-blocking receive for (src, tag); use AnySource /
@@ -115,16 +127,22 @@ func (q *Request) attach(m *message) {
 // match in post order; unexpected messages are consumed in delivery
 // order per matching criteria.
 func (r *Rank) Irecv(src, tag int) *Request {
-	defer r.enterMPI("MPI_Irecv")()
+	r.enterMPI("MPI_Irecv")
+	defer r.exitMPI()
 	return r.postRecv(src, tag)
 }
 
 func (r *Rank) postRecv(src, tag int) *Request {
-	q := &Request{rank: r, isRecv: true, src: src, tag: tag}
+	q := r.w.getReq()
+	q.rank = r
+	q.isRecv = true
+	q.src = src
+	q.tag = tag
 	// First try the unexpected queue.
-	for i, m := range r.unexpected {
-		if q.matches(m) {
-			r.unexpected = append(r.unexpected[:i], r.unexpected[i+1:]...)
+	for i := r.unexpectedHead; i < len(r.unexpected); i++ {
+		m := r.unexpected[i]
+		if m != nil && q.matches(m) {
+			r.consumeUnexpected(i)
 			q.attach(m)
 			r.posted = append(r.posted, q)
 			return q
@@ -134,30 +152,113 @@ func (r *Rank) postRecv(src, tag int) *Request {
 	return q
 }
 
-// retire removes a completed request from the posted list.
-func (r *Rank) retire(q *Request) {
-	for i, p := range r.posted {
-		if p == q {
-			r.posted = append(r.posted[:i], r.posted[i+1:]...)
-			return
+// consumeUnexpected removes the message at index i from the unexpected
+// queue, leaving a hole (or advancing the head) instead of shifting the
+// tail down, so heavy unexpected traffic stays O(1) amortized.
+func (r *Rank) consumeUnexpected(i int) {
+	r.unexpected[i] = nil
+	if i == r.unexpectedHead {
+		r.unexpectedHead++
+		for r.unexpectedHead < len(r.unexpected) && r.unexpected[r.unexpectedHead] == nil {
+			r.unexpectedHead++
+			r.unexpectedHoles--
+		}
+	} else {
+		r.unexpectedHoles++
+	}
+	if r.unexpectedHead == len(r.unexpected) {
+		// Queue fully drained: rewind to reuse the backing array.
+		r.unexpected = r.unexpected[:0]
+		r.unexpectedHead, r.unexpectedHoles = 0, 0
+	} else if dead := r.unexpectedHead + r.unexpectedHoles; dead > compactMin && dead > len(r.unexpected)-dead {
+		r.unexpected = compact(r.unexpected, r.unexpectedHead)
+		r.unexpectedHead, r.unexpectedHoles = 0, 0
+	}
+}
+
+// compactMin is the dead-entry threshold below which queues are left
+// alone: tiny queues recycle their slots naturally via the head index
+// reaching the end (see the len==head fast reset in retire).
+const compactMin = 32
+
+// compact slides the live entries of a holey queue down to the front of
+// its backing array, nil-ing the vacated tail so pooled objects are not
+// pinned. It works for any pointer-element queue.
+func compact[T any](q []*T, head int) []*T {
+	live := q[:0]
+	for _, e := range q[head:] {
+		if e != nil {
+			live = append(live, e)
 		}
 	}
+	for i := len(live); i < len(q); i++ {
+		q[i] = nil
+	}
+	return live
+}
+
+// retire removes a completed request from the posted list. Retiring the
+// oldest posted receive — the overwhelmingly common case in FIFO
+// workloads — is O(1): the head index advances over it rather than the
+// tail shifting down. Out-of-order retires leave holes that are swept
+// once they dominate the queue.
+func (r *Rank) retire(q *Request) {
+	for i := r.postedHead; i < len(r.posted); i++ {
+		if r.posted[i] != q {
+			continue
+		}
+		r.posted[i] = nil
+		if i == r.postedHead {
+			r.postedHead++
+			for r.postedHead < len(r.posted) && r.posted[r.postedHead] == nil {
+				r.postedHead++
+				r.postedHoles--
+			}
+		} else {
+			r.postedHoles++
+		}
+		if r.postedHead == len(r.posted) {
+			// Queue fully drained: rewind to reuse the backing array.
+			r.posted = r.posted[:0]
+			r.postedHead, r.postedHoles = 0, 0
+		} else if dead := r.postedHead + r.postedHoles; dead > compactMin && dead > len(r.posted)-dead {
+			r.posted = compact(r.posted, r.postedHead)
+			r.postedHead, r.postedHoles = 0, 0
+		}
+		return
+	}
+}
+
+// release returns a retired, completed request — and its attached
+// message — to the world's pools. Only the internal blocking paths
+// (Recv, SendRecv, Ssend) call it: their requests never escape to user
+// code, so no stale handle can observe the reuse. Requests returned by
+// Irecv/Isend are never released.
+func (r *Rank) release(q *Request) {
+	if q.msg != nil {
+		r.w.putMsg(q.msg)
+	}
+	r.w.putReq(q)
 }
 
 // Recv performs a blocking receive, returning the payload size of the
 // matched message. The rank stays IN_MPI (inside an MPI_Recv frame)
 // until the message arrives.
 func (r *Rank) Recv(src, tag int) int {
-	defer r.enterMPI("MPI_Recv")()
+	r.enterMPI("MPI_Recv")
+	defer r.exitMPI()
 	q := r.postRecv(src, tag)
 	r.await(q)
 	r.retire(q)
-	return q.msg.bytes
+	bytes := q.msg.bytes
+	r.release(q)
+	return bytes
 }
 
 // Wait blocks until the request completes (MPI_Wait).
 func (r *Rank) Wait(q *Request) {
-	defer r.enterMPI("MPI_Wait")()
+	r.enterMPI("MPI_Wait")
+	defer r.exitMPI()
 	r.await(q)
 	if q.isRecv {
 		r.retire(q)
@@ -166,7 +267,8 @@ func (r *Rank) Wait(q *Request) {
 
 // Waitall waits for every request in order.
 func (r *Rank) Waitall(qs []*Request) {
-	defer r.enterMPI("MPI_Waitall")()
+	r.enterMPI("MPI_Waitall")
+	defer r.exitMPI()
 	for _, q := range qs {
 		r.await(q)
 		if q.isRecv {
@@ -194,7 +296,8 @@ func (r *Rank) await(q *Request) {
 // momentarily puts the rank IN_MPI (the busy-wait pattern the paper
 // calls the third communication style). It retires completed receives.
 func (r *Rank) Test(q *Request) bool {
-	defer r.enterMPI("MPI_Test")()
+	r.enterMPI("MPI_Test")
+	defer r.exitMPI()
 	r.proc.Sleep(r.w.lat.TestOverhead)
 	if q.done && q.isRecv {
 		r.retire(q)
@@ -210,7 +313,8 @@ func (r *Rank) Test(q *Request) bool {
 // cycle is dominated by the progress engine, without one simulation
 // event per poll iteration.
 func (r *Rank) TestFor(q *Request, slice time.Duration) bool {
-	defer r.enterMPI("MPI_Test")()
+	r.enterMPI("MPI_Test")
+	defer r.exitMPI()
 	if q.done {
 		if q.isRecv {
 			r.retire(q)
@@ -228,11 +332,12 @@ func (r *Rank) TestFor(q *Request, slice time.Duration) bool {
 // without consuming it. Only messages that have already arrived
 // (arrival time passed) are visible, as in a real progress engine.
 func (r *Rank) Iprobe(src, tag int) bool {
-	defer r.enterMPI("MPI_Iprobe")()
+	r.enterMPI("MPI_Iprobe")
+	defer r.exitMPI()
 	r.proc.Sleep(r.w.lat.TestOverhead)
 	now := r.proc.Now()
-	for _, m := range r.unexpected {
-		if m.arriveAt <= now &&
+	for _, m := range r.unexpected[r.unexpectedHead:] {
+		if m != nil && m.arriveAt <= now &&
 			(src == AnySource || src == m.src) &&
 			(tag == AnyTag || tag == m.tag) {
 			return true
@@ -244,11 +349,14 @@ func (r *Rank) Iprobe(src, tag int) bool {
 // SendRecv exchanges messages with two peers in one call (the halo
 // pattern): send to dst and receive from src, overlapping the two.
 func (r *Rank) SendRecv(dst, sendTag, bytes, src, recvTag int) int {
-	defer r.enterMPI("MPI_Sendrecv")()
+	r.enterMPI("MPI_Sendrecv")
+	defer r.exitMPI()
 	q := r.postRecv(src, recvTag)
 	r.startSend(dst, sendTag, bytes)
 	r.proc.Sleep(r.w.lat.SendOverhead)
 	r.await(q)
 	r.retire(q)
-	return q.msg.bytes
+	got := q.msg.bytes
+	r.release(q)
+	return got
 }

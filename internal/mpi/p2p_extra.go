@@ -8,7 +8,8 @@ import "time"
 // creates classic head-to-head deadlocks, so it matters for hang
 // studies: two ranks Ssend-ing to each other first block forever.
 func (r *Rank) Ssend(dst, tag, bytes int) {
-	defer r.enterMPI("MPI_Ssend")()
+	r.enterMPI("MPI_Ssend")
+	defer r.exitMPI()
 	// Model: deliver the payload, then wait for an acknowledgement the
 	// receiver's matching engine sends when a receive consumes it.
 	ackTag := ssendAckBase | tag
@@ -16,17 +17,21 @@ func (r *Rank) Ssend(dst, tag, bytes int) {
 	q := r.postRecv(r.w.ranks[dst].id, ackTag)
 	r.await(q)
 	r.retire(q)
+	r.release(q)
 }
 
 // SsendMatch is the receive counterpart used by ranks receiving from an
 // Ssend: it consumes the data message and releases the sender.
 func (r *Rank) SsendMatch(src, tag int) int {
-	defer r.enterMPI("MPI_Recv")()
+	r.enterMPI("MPI_Recv")
+	defer r.exitMPI()
 	q := r.postRecv(src, ssendDataBase|tag)
 	r.await(q)
 	r.retire(q)
 	r.startSend(src, ssendAckBase|tag, 0)
-	return q.msg.bytes
+	got := q.msg.bytes
+	r.release(q)
+	return got
 }
 
 // Tag-space partitions for the synchronous-send protocol. User tags up
@@ -39,11 +44,12 @@ const (
 // Probe blocks until a matching message is deliverable (MPI_Probe),
 // without consuming it. The rank is IN_MPI while it waits.
 func (r *Rank) Probe(src, tag int) {
-	defer r.enterMPI("MPI_Probe")()
+	r.enterMPI("MPI_Probe")
+	defer r.exitMPI()
 	for {
 		now := r.proc.Now()
-		for _, m := range r.unexpected {
-			if (src == AnySource || src == m.src) &&
+		for _, m := range r.unexpected[r.unexpectedHead:] {
+			if m != nil && (src == AnySource || src == m.src) &&
 				(tag == AnyTag || tag == m.tag) {
 				if m.arriveAt <= now {
 					return
@@ -63,7 +69,8 @@ func (r *Rank) Probe(src, tag int) {
 // Waitany blocks until at least one of the requests completes and
 // returns its index (MPI_Waitany). It panics on an empty slice.
 func (r *Rank) Waitany(qs []*Request) int {
-	defer r.enterMPI("MPI_Waitany")()
+	r.enterMPI("MPI_Waitany")
+	defer r.exitMPI()
 	if len(qs) == 0 {
 		panic("mpi: Waitany on no requests")
 	}

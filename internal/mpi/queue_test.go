@@ -1,0 +1,204 @@
+package mpi
+
+import (
+	"testing"
+	"time"
+
+	"parastack/internal/sim"
+)
+
+// TestPostedQueueFIFORewind: FIFO retires advance the head index and a
+// fully drained queue rewinds to reuse its backing array, so steady
+// traffic never grows the posted list.
+func TestPostedQueueFIFORewind(t *testing.T) {
+	eng, w := newTestWorld(t, 2)
+	const msgs = 200
+	w.Launch(func(r *Rank) {
+		switch r.ID() {
+		case 0:
+			for i := 0; i < msgs; i++ {
+				r.Send(1, i, 64)
+			}
+		case 1:
+			for i := 0; i < msgs; i++ {
+				r.Recv(0, i)
+			}
+		}
+	})
+	eng.RunAll()
+	if !w.Done() {
+		t.Fatal("world did not complete")
+	}
+	r1 := w.Rank(1)
+	if len(r1.posted) != 0 || r1.postedHead != 0 || r1.postedHoles != 0 {
+		t.Fatalf("posted queue not rewound: len=%d head=%d holes=%d",
+			len(r1.posted), r1.postedHead, r1.postedHoles)
+	}
+	if cap(r1.posted) == 0 || cap(r1.posted) > msgs {
+		t.Fatalf("posted backing array not reused: cap=%d", cap(r1.posted))
+	}
+}
+
+// TestPostedQueueOutOfOrderCompaction: many long-lived Irecvs retired
+// out of order must trigger compaction rather than letting dead slots
+// accumulate, and matching must survive it.
+func TestPostedQueueOutOfOrderCompaction(t *testing.T) {
+	eng, w := newTestWorld(t, 2)
+	const n = 128 // > compactMin so holes force a compaction
+	w.Launch(func(r *Rank) {
+		switch r.ID() {
+		case 0:
+			// Complete the even-tag receives first, then the odd ones.
+			for i := 0; i < n; i += 2 {
+				r.Send(1, i, 8)
+			}
+			r.Compute(time.Millisecond)
+			for i := 1; i < n; i += 2 {
+				r.Send(1, i, 8)
+			}
+		case 1:
+			qs := make([]*Request, n)
+			for i := range qs {
+				qs[i] = r.Irecv(0, i)
+			}
+			// Wait in completion order (evens then odds): every even
+			// retire but the head leaves a hole.
+			for i := 0; i < n; i += 2 {
+				r.Wait(qs[i])
+			}
+			live := len(r.posted) - r.postedHead - r.postedHoles
+			if live != n/2 {
+				t.Errorf("after even retires: %d live, want %d", live, n/2)
+			}
+			if dead := r.postedHead + r.postedHoles; dead > len(r.posted)-dead && dead > compactMin {
+				t.Errorf("dead entries dominate without compaction: head=%d holes=%d len=%d",
+					r.postedHead, r.postedHoles, len(r.posted))
+			}
+			for i := 1; i < n; i += 2 {
+				r.Wait(qs[i])
+			}
+		}
+	})
+	eng.RunAll()
+	if !w.Done() {
+		t.Fatal("world did not complete")
+	}
+	r1 := w.Rank(1)
+	if len(r1.posted) != 0 || r1.postedHead != 0 || r1.postedHoles != 0 {
+		t.Fatalf("posted queue not drained: len=%d head=%d holes=%d",
+			len(r1.posted), r1.postedHead, r1.postedHoles)
+	}
+}
+
+// TestUnexpectedQueueConsumeAndRewind: consuming unexpected messages
+// out of arrival order leaves holes that are swept, and a drained
+// queue rewinds.
+func TestUnexpectedQueueConsumeAndRewind(t *testing.T) {
+	eng, w := newTestWorld(t, 2)
+	const n = 100
+	w.Launch(func(r *Rank) {
+		switch r.ID() {
+		case 0:
+			for i := 0; i < n; i++ {
+				r.Send(1, i, 8)
+			}
+		case 1:
+			r.Compute(time.Millisecond) // let everything land unexpected
+			// Consume high tags first: each match leaves an interior hole.
+			for i := n - 1; i >= 0; i-- {
+				r.Recv(0, i)
+			}
+		}
+	})
+	eng.RunAll()
+	if !w.Done() {
+		t.Fatal("world did not complete")
+	}
+	r1 := w.Rank(1)
+	if len(r1.unexpected) != 0 || r1.unexpectedHead != 0 || r1.unexpectedHoles != 0 {
+		t.Fatalf("unexpected queue not rewound: len=%d head=%d holes=%d",
+			len(r1.unexpected), r1.unexpectedHead, r1.unexpectedHoles)
+	}
+}
+
+// TestWorldResetReclaimsLeftovers: a run abandoned with posted receives
+// and unexpected messages in flight (the deadlock shape) must hand
+// everything back to the pools on Reset, and the reused world must
+// produce a bit-identical rerun.
+func TestWorldResetReclaimsLeftovers(t *testing.T) {
+	eng := sim.NewEngine(3)
+	w := NewWorld(eng, 4, Latency{})
+	body := func(r *Rank) {
+		switch r.ID() {
+		case 0:
+			r.Recv(1, 99) // never sent: hangs with a posted receive
+		case 1:
+			r.Send(0, 7, 32) // never received: stays unexpected
+			r.Recv(0, 99)    // hangs too
+		default:
+			r.Allreduce(64) // collective that can never complete
+		}
+	}
+	w.Launch(body)
+	eng.Run(time.Second)
+	if w.Done() {
+		t.Fatal("hang scenario unexpectedly completed")
+	}
+
+	firstEvents := eng.EventsFired()
+	eng.Reset(3)
+	w.Reset(Latency{})
+	if got := len(w.freeReqs); got == 0 {
+		t.Error("Reset reclaimed no posted requests")
+	}
+	if got := len(w.freeMsgs); got == 0 {
+		t.Error("Reset reclaimed no messages")
+	}
+	if got := len(w.freeOps); got == 0 {
+		t.Error("Reset reclaimed no collective ops")
+	}
+
+	w.Launch(body)
+	eng.Run(time.Second)
+	if w.Done() {
+		t.Fatal("rerun unexpectedly completed")
+	}
+	if eng.EventsFired() != firstEvents {
+		t.Fatalf("rerun diverged: %d events vs %d", eng.EventsFired(), firstEvents)
+	}
+}
+
+// BenchmarkPostedQueueRetire pins the cost of the posted-receive queue
+// under a deep backlog: one rank holds many outstanding Irecvs while
+// messages drain in FIFO order. With the head-index queue each
+// retire is O(1) amortized; the pre-compaction linear delete made this
+// quadratic in the backlog.
+func BenchmarkPostedQueueRetire(b *testing.B) {
+	const backlog = 512
+	eng := sim.NewEngine(1)
+	w := NewWorld(eng, 2, Latency{})
+	w.Launch(func(r *Rank) {
+		switch r.ID() {
+		case 0:
+			for i := 0; i < b.N; i++ {
+				r.Send(1, i%backlog, 8)
+			}
+		case 1:
+			qs := make([]*Request, 0, backlog)
+			for i := 0; i < b.N; i++ {
+				if len(qs) == backlog {
+					for _, q := range qs {
+						r.Wait(q)
+					}
+					qs = qs[:0]
+				}
+				qs = append(qs, r.Irecv(0, i%backlog))
+			}
+			for _, q := range qs {
+				r.Wait(q)
+			}
+		}
+	})
+	b.ResetTimer()
+	eng.RunAll()
+}

@@ -14,11 +14,22 @@ import (
 type Rank struct {
 	w     *World
 	id    int
+	name  string // cached "rank-N" spawn name, reused across World.Reset
 	proc  *sim.Proc
 	stack *stack.Stack
 
-	posted     []*Request // posted receive requests, in post order
-	unexpected []*message // delivered but unmatched messages, in delivery order
+	// posted holds receive requests in post order. Retired requests
+	// leave nil holes (compacted once they dominate) and postedHead
+	// skips the retired prefix, so FIFO matching stays O(live) and
+	// retiring the oldest receive — the common case — is O(1) instead
+	// of shifting the whole queue. unexpected works the same way.
+	posted      []*Request
+	postedHead  int
+	postedHoles int // nil entries at or after postedHead
+
+	unexpected      []*message // delivered but unmatched messages, in delivery order
+	unexpectedHead  int
+	unexpectedHoles int
 
 	msgSeq uint64 // per-rank send sequence, for deterministic tie-breaks
 
@@ -93,8 +104,12 @@ func (r *Rank) HangForever() {
 // computation — the rank is OUT_MPI while spinning.
 func (r *Rank) Spin(d time.Duration) { r.Compute(d) }
 
-// enterMPI pushes an MPI frame and returns a func that pops it.
-func (r *Rank) enterMPI(name string) func() {
-	r.stack.Push(name)
-	return r.stack.Pop
-}
+// enterMPI pushes an MPI frame; exitMPI pops it. They are separate
+// calls (rather than enterMPI returning a pop func) so the per-call
+// `defer r.exitMPI()` stays an open-coded defer with no method-value
+// allocation — one heap object per MPI call otherwise, the single
+// largest allocation source in large campaigns.
+func (r *Rank) enterMPI(name string) { r.stack.Push(name) }
+
+// exitMPI pops the frame pushed by the matching enterMPI.
+func (r *Rank) exitMPI() { r.stack.Pop() }

@@ -41,6 +41,7 @@ type World struct {
 	lat   Latency
 
 	worldComm *Comm
+	derived   []*Comm // per-run split communicators, reclaimed by Reset
 
 	// Perturb, when non-nil, rescales every computation interval of
 	// every rank; platform noise models hook in here.
@@ -49,6 +50,54 @@ type World struct {
 	started    bool
 	finished   int
 	finishedAt sim.Time
+
+	// Object pools. Messages and the requests of the internal blocking
+	// paths churn once per communication; recycling them (and collective
+	// ops) is what keeps a steady-state run allocation-free. All pool
+	// traffic happens while the engine holds control of exactly one
+	// process, so no locking is needed.
+	freeMsgs []*message
+	freeReqs []*Request
+	freeOps  []*collOp
+}
+
+// getMsg pops a pooled message (fields are fully overwritten by the
+// caller) or allocates one.
+func (w *World) getMsg() *message {
+	if n := len(w.freeMsgs); n > 0 {
+		m := w.freeMsgs[n-1]
+		w.freeMsgs[n-1] = nil
+		w.freeMsgs = w.freeMsgs[:n-1]
+		return m
+	}
+	return &message{}
+}
+
+// putMsg returns a consumed message to the pool.
+func (w *World) putMsg(m *message) { w.freeMsgs = append(w.freeMsgs, m) }
+
+// getReq pops a pooled request, reset except for its cached onComplete
+// closure (bound to the struct, still valid), or allocates one.
+func (w *World) getReq() *Request {
+	if n := len(w.freeReqs); n > 0 {
+		q := w.freeReqs[n-1]
+		w.freeReqs[n-1] = nil
+		w.freeReqs = w.freeReqs[:n-1]
+		return q
+	}
+	return &Request{}
+}
+
+// putReq returns a request to the pool. The caller guarantees no
+// outside handle to it survives (see Rank.release).
+func (w *World) putReq(q *Request) {
+	q.rank = nil
+	q.isRecv = false
+	q.src, q.tag = 0, 0
+	q.done = false
+	q.msg = nil
+	q.waiter = nil
+	w.freeReqs = append(w.freeReqs, q)
 }
 
 // NewWorld creates a world of size ranks on eng with latency model lat.
@@ -67,12 +116,64 @@ func NewWorld(eng *sim.Engine, size int, lat Latency) *World {
 		w.ranks[i] = &Rank{
 			w:     w,
 			id:    i,
+			name:  fmt.Sprintf("rank-%d", i),
 			stack: stack.New("main"),
 		}
 		all[i] = i
 	}
 	w.worldComm = newComm(w, all)
 	return w
+}
+
+// Reset returns the world to its just-constructed state for a fresh run
+// on the same (Reset) engine, with a possibly different latency model.
+// Rank structs, stacks, queue backing arrays, communicator tables, and
+// the message/request/collective pools are all retained, so a reused
+// world allocates almost nothing per run. Messages and blocking-path
+// requests still sitting in rank queues — a hung run's leftovers,
+// including the fault injector's dead receives — return to their pools
+// here rather than leaking. The engine must already have been Reset (or
+// be fresh): leftover queue state references the old run's requests.
+func (w *World) Reset(lat Latency) {
+	w.lat = lat.WithDefaults()
+	w.Perturb = nil
+	w.started = false
+	w.finished = 0
+	w.finishedAt = 0
+	for _, r := range w.ranks {
+		for _, q := range r.posted[r.postedHead:] {
+			if q != nil {
+				// Pool every leftover posted receive: user code that could
+				// hold an Irecv handle is gone (the run is over), so reuse
+				// is unobservable. Attached messages come back too.
+				if q.msg != nil {
+					w.putMsg(q.msg)
+				}
+				w.putReq(q)
+			}
+		}
+		r.posted = r.posted[:0]
+		r.postedHead, r.postedHoles = 0, 0
+		for _, m := range r.unexpected[r.unexpectedHead:] {
+			if m != nil {
+				w.putMsg(m)
+			}
+		}
+		r.unexpected = r.unexpected[:0]
+		r.unexpectedHead, r.unexpectedHoles = 0, 0
+		r.msgSeq = 0
+		r.block = blockState{}
+		r.threads = nil
+		r.hung = false
+		r.proc = nil
+		r.stack.Reset("main")
+	}
+	w.worldComm.reset()
+	for i, c := range w.derived {
+		c.reset() // reclaim in-flight ops before dropping the comm
+		w.derived[i] = nil
+	}
+	w.derived = w.derived[:0]
 }
 
 // Engine returns the world's simulation engine.
@@ -100,7 +201,7 @@ func (w *World) Launch(body func(r *Rank)) {
 	w.started = true
 	for _, r := range w.ranks {
 		r := r
-		r.proc = w.eng.SpawnNow(fmt.Sprintf("rank-%d", r.id), func(p *sim.Proc) {
+		r.proc = w.eng.SpawnNow(r.name, func(p *sim.Proc) {
 			body(r)
 			w.finished++
 			if w.finished == len(w.ranks) {

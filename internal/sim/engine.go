@@ -56,6 +56,12 @@ type Event struct {
 	fn   func()
 	proc *Proc // when non-nil, firing dispatches this process directly
 
+	// procs, when non-nil, is a group wake: firing dispatches every
+	// process in order with a single heap pop. The slice is owned by the
+	// engine from WakeAllAt until the event fires (or is drained by
+	// Reset), at which point it returns to the proc-slice pool.
+	procs []*Proc
+
 	canceled bool
 	index    int // heap index, -1 when popped
 }
@@ -155,6 +161,13 @@ type Engine struct {
 	procs     []*Proc
 	liveProcs int
 
+	// Reuse pools. freeProcs recycles Proc structs (and their resume
+	// channels) across Reset cycles; procSlices recycles group-wake
+	// waiter backing arrays, keyed on exact capacity so a communicator's
+	// waiter list round-trips through the pool without reallocating.
+	freeProcs  []*Proc
+	procSlices map[int][][]*Proc
+
 	// Stats, useful for tests and benchmarks.
 	eventsFired uint64
 
@@ -253,12 +266,80 @@ func (e *Engine) schedule(t Time) *Event {
 
 // recycle resets a popped event and returns it to the free list. The
 // free list never exceeds the maximum number of concurrently pending
-// events, so it needs no cap of its own.
+// events, so it needs no cap of its own. A group-wake event's waiter
+// slice returns to the proc-slice pool here.
 func (e *Engine) recycle(ev *Event) {
 	ev.fn = nil
 	ev.proc = nil
+	if ev.procs != nil {
+		e.PutProcSlice(ev.procs)
+		ev.procs = nil
+	}
 	ev.canceled = false
 	e.free = append(e.free, ev)
+}
+
+// GetProcSlice returns an empty process slice with at least the given
+// capacity, reusing a pooled backing array when one of that exact
+// capacity is available. Callers either hand the slice back through
+// PutProcSlice or transfer ownership to the engine via WakeAllAt.
+func (e *Engine) GetProcSlice(capacity int) []*Proc {
+	if capacity < 1 {
+		capacity = 1
+	}
+	if l := e.procSlices[capacity]; len(l) > 0 {
+		s := l[len(l)-1]
+		l[len(l)-1] = nil
+		e.procSlices[capacity] = l[:len(l)-1]
+		return s
+	}
+	return make([]*Proc, 0, capacity)
+}
+
+// PutProcSlice returns a slice obtained from GetProcSlice (or grown
+// from one) to the pool. The slice must not be used afterwards.
+func (e *Engine) PutProcSlice(s []*Proc) {
+	if cap(s) == 0 {
+		return
+	}
+	s = s[:cap(s)]
+	for i := range s {
+		s[i] = nil // drop proc references so pooled arrays don't pin them
+	}
+	if e.procSlices == nil {
+		e.procSlices = make(map[int][][]*Proc)
+	}
+	e.procSlices[cap(s)] = append(e.procSlices[cap(s)], s[:0])
+}
+
+// WakeAllAt schedules every process in procs to resume at time t with a
+// single queued event: one heap insertion instead of one per waiter,
+// which is what keeps large collectives O(log queue) instead of
+// O(N log queue). Processes are dispatched in slice order, and each
+// dispatch counts as one fired event, so the wake order and the
+// engine's event tally are bit-identical to looping WakeAt over the
+// same slice. Every process must be suspended; ownership of the slice
+// transfers to the engine (it returns to the proc-slice pool after the
+// event fires). An empty slice schedules nothing and returns nil.
+func (e *Engine) WakeAllAt(t Time, procs []*Proc) *Event {
+	if len(procs) == 0 {
+		if procs != nil {
+			e.PutProcSlice(procs)
+		}
+		return nil
+	}
+	ev := e.schedule(t)
+	ev.procs = procs
+	for _, p := range procs {
+		if p.state != ProcSuspended {
+			panic(fmt.Sprintf("sim: WakeAllAt(%s) in state %s", p.Name, p.state))
+		}
+		// Mark sleeping-with-event so a concurrent WakeAt panics, exactly
+		// as an individual wake would.
+		p.state = ProcSleeping
+		p.wake = ev
+	}
+	return ev
 }
 
 // At schedules fn to run at absolute virtual time t.
@@ -336,13 +417,23 @@ func (e *Engine) Run(until Time) Time {
 		if next.when > e.now {
 			e.now = next.when
 		}
-		e.eventsFired++
 		// Fast path: the overwhelmingly common event is a process
 		// dispatch (sleep wakeup / suspend resume); it carries the
 		// process directly instead of a closure.
-		if p := next.proc; p != nil {
-			e.dispatch(p)
-		} else {
+		switch {
+		case next.proc != nil:
+			e.eventsFired++
+			e.dispatch(next.proc)
+		case next.procs != nil:
+			// Group wake: one heap pop releases the whole waiter list.
+			// Each dispatch counts as a fired event so the tally stays
+			// identical to the one-event-per-waiter formulation.
+			for _, p := range next.procs {
+				e.eventsFired++
+				e.dispatch(p)
+			}
+		default:
+			e.eventsFired++
 			next.fn()
 		}
 		// Recycled only after the callback returns, so a Cancel from
@@ -362,21 +453,64 @@ func (e *Engine) PendingEvents() int { return len(e.queue) }
 // goroutines. Campaigns that run thousands of simulations — many ending
 // in hangs whose processes would otherwise stay parked forever — call
 // this after each run to keep goroutine and memory usage flat. The
-// engine must not be running; after Shutdown it must not be reused.
+// engine must not be running; after Shutdown it must not be reused
+// until Reset.
 func (e *Engine) Shutdown() {
 	if e.running {
 		panic("sim: Shutdown while running")
 	}
 	e.shutdown = true
 	for _, p := range e.procs {
-		for p.state == ProcSleeping || p.state == ProcSuspended {
-			// Hand the goroutine control; park/Sleep observes the
+		for p.state == ProcReady || p.state == ProcSleeping || p.state == ProcSuspended {
+			// Hand the goroutine control; park/Sleep (or the spawn
+			// wrapper, for never-started processes) observes the
 			// shutdown flag and unwinds via a procExit panic; the spawn
 			// wrapper recovers it and parks back one final time.
 			p.resume <- struct{}{}
 			<-e.parked
 		}
 	}
+}
+
+// Reset returns the engine to its just-constructed state with a fresh
+// random stream seeded with seed, while retaining every warm free list
+// (events, processes, group-wake slices). A reset engine is
+// indistinguishable from NewEngine(seed) to the simulation — virtual
+// time, event sequence numbers, the random stream, and all counters
+// restart from zero — which is what lets campaigns reuse one engine
+// across seeds instead of reallocating per run. Live processes are
+// Shutdown first; the attached recorder is kept (pass a new one via
+// SetRecorder for the next run).
+func (e *Engine) Reset(seed int64) {
+	if e.running {
+		panic("sim: Reset while running")
+	}
+	e.Shutdown()
+	// Drain the queue into the free list without firing anything;
+	// recycle returns group-wake slices to their pool.
+	for len(e.queue) > 0 {
+		e.recycle(e.queue.popMin())
+	}
+	for i, p := range e.procs {
+		// All processes are Done after Shutdown; their goroutines have
+		// exited, so the structs (and resume channels) are reusable.
+		p.eng = nil
+		p.wake = nil
+		p.penalty = 0
+		e.freeProcs = append(e.freeProcs, p)
+		e.procs[i] = nil
+	}
+	e.procs = e.procs[:0]
+	e.liveProcs = 0
+	e.now = 0
+	e.seq = 0
+	e.stopped = false
+	e.shutdown = false
+	e.eventsFired = 0
+	e.eventsSynced = 0
+	e.maxDepth = 0
+	e.depthEvented = 0
+	e.rng.Seed(seed)
 }
 
 // procExit is the sentinel panic used to unwind a simulated process's

@@ -76,12 +76,25 @@ func (p *Proc) Now() Time { return p.eng.now }
 // time start (which must not be in the past). The body runs on its own
 // goroutine but only ever while the engine has handed it control.
 func (e *Engine) Spawn(name string, start Time, body func(*Proc)) *Proc {
-	p := &Proc{
-		ID:     len(e.procs),
-		Name:   name,
-		eng:    e,
-		resume: make(chan struct{}),
-		state:  ProcReady,
+	var p *Proc
+	if n := len(e.freeProcs); n > 0 {
+		// Reuse a pooled Proc (and its resume channel) from a previous
+		// Reset cycle; its goroutine has exited, so the channel is idle.
+		p = e.freeProcs[n-1]
+		e.freeProcs[n-1] = nil
+		e.freeProcs = e.freeProcs[:n-1]
+		p.ID = len(e.procs)
+		p.Name = name
+		p.eng = e
+		p.state = ProcReady
+	} else {
+		p = &Proc{
+			ID:     len(e.procs),
+			Name:   name,
+			eng:    e,
+			resume: make(chan struct{}),
+			state:  ProcReady,
+		}
 	}
 	e.procs = append(e.procs, p)
 	e.liveProcs++

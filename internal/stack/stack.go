@@ -102,6 +102,20 @@ func New(base ...string) *Stack {
 	return s
 }
 
+// Reset returns the stack to the state New(base...) would produce,
+// keeping the frame backing array so per-run reuse (mpi.World.Reset)
+// does not reallocate. Versions and entry counters restart from zero.
+func (s *Stack) Reset(base ...string) {
+	s.frames = s.frames[:0]
+	s.mpiDepth = 0
+	s.version = 0
+	s.nonPollEntries = 0
+	s.pollEntries = 0
+	for _, n := range base {
+		s.Push(n)
+	}
+}
+
 // Push enters a function.
 func (s *Stack) Push(name string) {
 	mpi := IsMPIFrame(name)

@@ -68,7 +68,8 @@ type Options struct {
 	// ProgressPeriod throttles OnProgress and EvProgress (0 = 1s).
 	ProgressPeriod time.Duration
 	// Run overrides the run executor (tests inject panicking runs
-	// here; nil = experiment.Run).
+	// here). When nil, each worker gets its own experiment.Runner, so
+	// consecutive runs on a worker reuse one simulator's memory.
 	Run func(experiment.RunConfig) experiment.RunResult
 }
 
@@ -87,9 +88,6 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Recorder == nil {
 		o.Recorder = obs.New(nil) // metrics-only: counters work, events off
-	}
-	if o.Run == nil {
-		o.Run = experiment.Run
 	}
 	return o
 }
@@ -204,8 +202,14 @@ func (p *pool) run(ctx context.Context, units []unit, sink func(Record)) error {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			run := p.opts.Run
+			if run == nil {
+				// Per-worker Runner: simulator memory is reused across this
+				// worker's runs and never shared between workers.
+				run = experiment.NewRunner().Run
+			}
 			for u := range next {
-				rec := p.execute(u)
+				rec := p.execute(u, &run)
 				p.mu.Lock()
 				if p.log != nil {
 					if err := p.log.Write(rec); err != nil && p.logErr == nil {
@@ -261,11 +265,16 @@ feed:
 	return ctx.Err()
 }
 
-// execute runs one unit with panic recovery and bounded retry.
-func (p *pool) execute(u unit) Record {
+// execute runs one unit with panic recovery and bounded retry. run
+// points at the worker's executor so a panicked attempt can swap in a
+// fresh Runner (a half-run simulator is not safely resettable).
+func (p *pool) execute(u unit, run *func(experiment.RunConfig) experiment.RunResult) Record {
 	var lastErr string
 	for attempt := 1; ; attempt++ {
-		res, err := p.runOnce(u.rc)
+		res, err := p.runOnce(u.rc, *run)
+		if err != nil && p.opts.Run == nil {
+			*run = experiment.NewRunner().Run
+		}
 		if err == nil {
 			return Record{Schema: SchemaVersion, Key: u.key, Index: u.index,
 				Status: StatusOK, Attempts: attempt, Result: res}
@@ -284,13 +293,13 @@ func (p *pool) execute(u unit) Record {
 
 // runOnce executes one run, converting a panic into an error so a bad
 // cell cannot take the sweep down.
-func (p *pool) runOnce(rc experiment.RunConfig) (res *experiment.RunResult, err error) {
+func (p *pool) runOnce(rc experiment.RunConfig, run func(experiment.RunConfig) experiment.RunResult) (res *experiment.RunResult, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			res, err = nil, fmt.Errorf("run panicked: %v", r)
 		}
 	}()
-	r := p.opts.Run(rc)
+	r := run(rc)
 	return &r, nil
 }
 
