@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race fmt-check bench bench-json bench-smoke bench-scale-smoke sweep-smoke fuzz-smoke chaos-smoke ci
+.PHONY: all build test vet race fmt-check bench bench-json bench-smoke bench-scale-smoke sweep-smoke fuzz-smoke chaos-smoke diagnose-smoke ci
 
 all: build test
 
@@ -59,11 +59,13 @@ sweep-smoke:
 	$(GO) run ./cmd/pssweep -grid smoke -out $(SWEEP_SMOKE_LOG) -resume
 	@rm -f $(SWEEP_SMOKE_LOG)
 
-# Short fuzz of the results-log reader: corrupted/torn JSONL must never
-# panic Load or sneak past its schema check (fixed seed corpus + 5s of
-# mutation).
+# Short fuzz of the results-log reader (corrupted/torn JSONL must never
+# panic Load or sneak past its schema check) and of the hang classifier
+# (arbitrary serialized snapshots must never panic Analyze or accuse an
+# unobserved rank). Fixed seed corpus + 5s of mutation each.
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzLoad -fuzztime=5s ./internal/sweep
+	$(GO) test -run='^$$' -fuzz=FuzzAnalyze -fuzztime=5s ./internal/diagnose/waitfor
 
 # Chaos smoke: a short clean campaign under the aggressive "heavy"
 # chaos profile, under the race detector, asserting zero false
@@ -71,5 +73,13 @@ fuzz-smoke:
 chaos-smoke:
 	$(GO) test -race -run 'TestChaosSmoke$$' -count=1 -v ./internal/chaos
 
+# Diagnosis smoke: the root-cause property grid under the race detector
+# — fault kinds × workloads × seeds through the real harness, requiring
+# the diagnosed cause to equal the injected one (100% under clean
+# chaos) — plus the chaos-degradation property (under "heavy" chaos the
+# classifier may say "unknown" but never a wrong named cause).
+diagnose-smoke:
+	$(GO) test -race -run 'TestCausePropertyGrid$$|TestCauseDegradesUnderChaos$$' -count=1 -v ./internal/diagnose/waitfor
+
 # The gate PRs must pass.
-ci: fmt-check vet build race bench-smoke bench-scale-smoke sweep-smoke fuzz-smoke chaos-smoke
+ci: fmt-check vet build race bench-smoke bench-scale-smoke sweep-smoke fuzz-smoke chaos-smoke diagnose-smoke

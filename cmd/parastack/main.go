@@ -31,7 +31,7 @@ func main() {
 	class := flag.String("class", "D", "input class (NPB D/E, HPL 8e4/2e5/…, HPCG 64)")
 	procs := flag.Int("procs", 256, "number of MPI ranks")
 	platform := flag.String("platform", "tardis", "platform: tardis tianhe2 stampede")
-	faultKind := flag.String("fault", "computation", "fault: none computation node deadlock")
+	faultKind := flag.String("fault", "computation", "fault: none computation node deadlock lost mismatch")
 	chaosName := flag.String("chaos", "none", "detector-chaos profile: none light probe-loss stale rank-death jitter monitor-crash heavy blackout")
 	seed := flag.Int64("seed", 1, "random seed")
 	alpha := flag.Float64("alpha", 0.001, "hang-test significance level (the one user-tunable)")
@@ -116,6 +116,22 @@ func main() {
 		fmt.Printf("HANG VERIFIED at %v (%s)\n", rep.DetectedAt.Round(time.Millisecond), rep.Type)
 		if len(rep.FaultyRanks) > 0 {
 			fmt.Printf("faulty ranks: %v\n", rep.FaultyRanks)
+		}
+		if d := res.Diagnosis; d != nil {
+			fmt.Printf("root cause: %s\n", d)
+			for _, e := range d.Cycle {
+				fmt.Printf("  cycle: rank %d waits on rank %d (%s)\n", e.From, e.To, e.Why)
+			}
+			for _, e := range d.Chain {
+				fmt.Printf("  chain: rank %d waits on rank %d (%s)\n", e.From, e.To, e.Why)
+			}
+			if d.Lost != nil {
+				fmt.Printf("  lost message: rank %d still waits for tag %d from rank %d\n",
+					d.Lost.Receiver, d.Lost.Tag, d.Lost.Sender)
+			}
+			for _, g := range d.Groups {
+				fmt.Printf("  collective group: comm %d seq %d %s ranks %v\n", g.Comm, g.Seq, g.Op, g.Ranks)
+			}
 		}
 		if res.Detected {
 			fmt.Printf("response delay: %v\n", res.Delay.Round(time.Millisecond))

@@ -12,6 +12,7 @@
 //	psbench -table 9           # Table 9 (P vs P*)
 //	psbench -fp                # false-positive study (§7.1-II)
 //	psbench -scale             # large-scale study (§7.1-III)
+//	psbench -cause             # root-cause diagnosis accuracy table
 //	psbench -all               # everything
 //
 // -runs N scales every campaign (default: small shape-preserving
@@ -47,6 +48,7 @@ func main() {
 	table := flag.Int("table", 0, "table number to regenerate (1,3,4,5,6,7,8,9,10)")
 	fp := flag.Bool("fp", false, "run the false-positive study")
 	scale := flag.Bool("scale", false, "run the large-scale study")
+	cause := flag.Bool("cause", false, "run the root-cause diagnosis accuracy table")
 	all := flag.Bool("all", false, "regenerate every table")
 	runs := flag.Int("runs", 0, "runs per configuration (0 = small default)")
 	seed := flag.Int64("seed", 1, "base random seed")
@@ -105,7 +107,7 @@ func main() {
 	}
 
 	switch {
-	case *table == 0 && !*fp && !*scale && !*all:
+	case *table == 0 && !*fp && !*scale && !*cause && !*all:
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -144,6 +146,10 @@ func main() {
 	}
 	if need(10) {
 		paper.Table10(w, campaigns, opt)
+		fmt.Fprintln(w)
+	}
+	if *cause || *all {
+		paper.CauseTable(w, opt)
 		fmt.Fprintln(w)
 	}
 	if *fp || *all {

@@ -2,6 +2,7 @@ package parastack
 
 import (
 	"parastack/internal/diagnose"
+	"parastack/internal/diagnose/waitfor"
 	"parastack/internal/mpi"
 )
 
@@ -22,6 +23,25 @@ type (
 	ProgressGraph = diagnose.ProgressGraph
 	// WaitEdge is one wait-for dependency.
 	WaitEdge = diagnose.WaitEdge
+	// HangCause is a named hang root cause ("deadlock",
+	// "straggler-chain", "lost-message", "collective-mismatch",
+	// "unknown").
+	HangCause = waitfor.Cause
+	// HangDiagnosis is a classified hang with its evidence, attached to
+	// a detector Report (and RunResult) after the verdict.
+	HangDiagnosis = waitfor.Diagnosis
+	// WaitForSnapshot is the serialized blocking state the classifier
+	// consumes.
+	WaitForSnapshot = waitfor.Snapshot
+)
+
+// The named root causes.
+const (
+	CauseUnknown            = waitfor.CauseUnknown
+	CauseDeadlock           = waitfor.CauseDeadlock
+	CauseStragglerChain     = waitfor.CauseStragglerChain
+	CauseLostMessage        = waitfor.CauseLostMessage
+	CauseCollectiveMismatch = waitfor.CauseCollectiveMismatch
 )
 
 // Blocking kinds (see Rank.BlockInfo).
@@ -43,3 +63,17 @@ func BuildProgressGraph(w *World) *ProgressGraph { return diagnose.BuildProgress
 // DiagnoseReport renders a human-readable post-hang diagnosis: stack
 // groups plus least-progressed ranks.
 func DiagnoseReport(w *World) string { return diagnose.Report(w) }
+
+// CaptureWaitFor snapshots every observable rank's blocked MPI
+// operation from a paused world (observed == nil sees everything).
+func CaptureWaitFor(w *World, observed func(rank int) bool) *WaitForSnapshot {
+	return waitfor.Capture(w, observed)
+}
+
+// AnalyzeWaitFor classifies a hang snapshot into a named root cause
+// with machine-checkable evidence.
+func AnalyzeWaitFor(s *WaitForSnapshot) *HangDiagnosis { return waitfor.Analyze(s) }
+
+// ExpectedHangCause maps an injected fault kind to the cause a correct
+// diagnosis should name ("" for kinds with no defined signature).
+func ExpectedHangCause(k FaultKind) HangCause { return waitfor.ExpectedCause(k) }

@@ -3,14 +3,20 @@
 // hang classification (HangType), and the Detector interface that
 // core.Monitor, timeout.FixedIK, and timeout.Watchdog all implement.
 //
-// It is a leaf package on purpose: core and timeout cannot import each
-// other, so the types they must agree on live below both. core.Report
-// and timeout.Report are aliases of Report, which is what lets the
-// concrete detectors satisfy Detector with their existing Report
-// methods unchanged.
+// It sits below every detector on purpose: core and timeout cannot
+// import each other, so the types they must agree on live below both.
+// core.Report and timeout.Report are aliases of Report, which is what
+// lets the concrete detectors satisfy Detector with their existing
+// Report methods unchanged. Its only dependency is diagnose/waitfor,
+// whose Diagnosis rides along on Report as the post-verdict root-cause
+// annotation.
 package detect
 
-import "time"
+import (
+	"time"
+
+	"parastack/internal/diagnose/waitfor"
+)
 
 // HangType classifies a verified hang by the phase the error lives in.
 type HangType int
@@ -49,6 +55,11 @@ type Report struct {
 	// Q and Threshold document the model state at detection time
 	// (ParaStack only).
 	Q, Threshold float64
+	// Cause is the root-cause diagnosis the wait-for analysis attaches
+	// after the verdict (nil when no diagnosis ran — the detectors
+	// themselves never fill it; the experiment harness does, from a
+	// snapshot of the paused world).
+	Cause *waitfor.Diagnosis
 }
 
 // Detector is the uniform surface of a hang detector attached to one

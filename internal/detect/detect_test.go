@@ -1,0 +1,145 @@
+package detect_test
+
+import (
+	"testing"
+	"time"
+
+	"parastack/internal/core"
+	"parastack/internal/detect"
+	"parastack/internal/mpi"
+	"parastack/internal/sim"
+	"parastack/internal/timeout"
+	"parastack/internal/topology"
+)
+
+// newDetectors constructs one of each concrete detector against a
+// fresh world, without starting anything.
+func newDetectors(t *testing.T) (map[string]detect.Detector, *sim.Engine, *mpi.World) {
+	t.Helper()
+	eng := sim.NewEngine(7)
+	w := mpi.NewWorld(eng, 16, mpi.Latency{})
+	cluster := topology.New(4, 4, 7)
+	ds := map[string]detect.Detector{
+		"parastack": core.New(w, cluster, core.Config{}),
+		"fixed-ik":  timeout.NewFixedIK(w, cluster, timeout.Config{}),
+		"watchdog":  timeout.NewWatchdog(w, 30*time.Second),
+	}
+	return ds, eng, w
+}
+
+// TestConformance checks the shared Detector contract every concrete
+// implementation must honor: a nil verdict before Start (and before any
+// hang), and a Name that is non-empty, matches its registry key, and is
+// stable across calls and across Start.
+func TestConformance(t *testing.T) {
+	ds, eng, w := newDetectors(t)
+	for want, d := range ds {
+		if d.Report() != nil {
+			t.Errorf("%s: verdict before Start = %+v, want nil", want, d.Report())
+		}
+		if d.Name() != want {
+			t.Errorf("Name() = %q, want %q", d.Name(), want)
+		}
+		if d.Name() != d.Name() {
+			t.Errorf("%s: Name not stable across calls", want)
+		}
+	}
+	// Start everything, run a short clean workload: still no verdict,
+	// and names unchanged.
+	for _, d := range ds {
+		d.Start()
+	}
+	w.Launch(func(r *mpi.Rank) {
+		for i := 0; i < 3; i++ {
+			r.Compute(5 * time.Millisecond)
+			r.Allreduce(8)
+		}
+	})
+	eng.Run(2 * time.Second)
+	if !w.Done() {
+		t.Fatal("clean run did not finish")
+	}
+	for want, d := range ds {
+		if rep := d.Report(); rep != nil {
+			t.Errorf("%s: verdict on a clean run = %+v, want nil", want, rep)
+		}
+		if d.Name() != want {
+			t.Errorf("%s: Name changed after Start to %q", want, d.Name())
+		}
+	}
+}
+
+// TestReportSemanticsOnHang checks the Report contract on a real hang:
+// every detector fires with a sane DetectedAt, and only ParaStack
+// fills the classification fields; nobody fills Cause (diagnosis is
+// attached by the harness, not the detectors). Each detector gets its
+// own world — a verdict stops the engine, so sharing one would let the
+// first verdict mask the others. The hang lands ~30s in, past
+// ParaStack's model-building phase, and keeps the victim inside MPI so
+// the fixed-(I,K) baseline can see it too.
+func TestReportSemanticsOnHang(t *testing.T) {
+	for _, name := range []string{"parastack", "fixed-ik", "watchdog"} {
+		t.Run(name, func(t *testing.T) {
+			ds, eng, w := newDetectors(t)
+			d := ds[name]
+			d.Start()
+			w.Launch(func(r *mpi.Rank) {
+				rng := eng.Rand()
+				for i := 0; ; i++ {
+					r.Call("solver_step", func() {
+						r.Compute(10*time.Millisecond + time.Duration(rng.Int63n(int64(60*time.Millisecond))))
+						if r.ID() == 3 && i == 600 {
+							r.Recv(3, 0x7fffffff) // never matched: IN_MPI forever
+						}
+					})
+					r.Allreduce(1 << 14)
+				}
+			})
+			eng.Run(30 * time.Minute)
+			if w.Done() {
+				t.Fatal("hung run reported done")
+			}
+			rep := d.Report()
+			if rep == nil {
+				t.Fatal("no verdict on a hang")
+			}
+			if rep.DetectedAt <= 15*time.Second || rep.DetectedAt > 30*time.Minute {
+				t.Errorf("DetectedAt = %v, want after the hang and within the run", rep.DetectedAt)
+			}
+			if rep.Cause != nil {
+				t.Errorf("detector filled Cause itself: %+v", rep.Cause)
+			}
+			switch name {
+			case "parastack":
+				if rep.Type != detect.HangCommunication {
+					t.Errorf("Type = %v, want communication-error", rep.Type)
+				}
+				if len(rep.FaultyRanks) != 0 {
+					t.Errorf("FaultyRanks = %v, want none for a communication hang", rep.FaultyRanks)
+				}
+				if rep.Suspicions <= 0 {
+					t.Errorf("Suspicions = %d, want > 0", rep.Suspicions)
+				}
+			default:
+				// Baselines cannot classify or identify.
+				if len(rep.FaultyRanks) != 0 {
+					t.Errorf("baseline identified ranks %v, want none", rep.FaultyRanks)
+				}
+				if rep.Suspicions != 0 || rep.Q != 0 || rep.Threshold != 0 {
+					t.Errorf("baseline filled model fields: %+v", rep)
+				}
+			}
+		})
+	}
+}
+
+// TestHangTypeStrings pins the verdict vocabulary the logs and CLIs
+// print.
+func TestHangTypeStrings(t *testing.T) {
+	if got := detect.HangComputation.String(); got != "computation-error" {
+		t.Errorf("HangComputation = %q", got)
+	}
+	if got := detect.HangCommunication.String(); got != "communication-error" {
+		t.Errorf("HangCommunication = %q", got)
+	}
+}

@@ -42,8 +42,14 @@ const (
 // rule — any rank persistently outside MPI makes the error
 // computational and that rank a suspect; all-inside-MPI means a
 // communication error — but degrades honestly: with no traces, or with
-// less than half the world observed, it returns Unknown and accuses
-// nobody. Ranks outside [0, size) and empty call chains are discarded
+// strictly less than half the world observed, it returns Unknown and
+// accuses nobody. The quorum boundary is *exactly half observed
+// classifies* (covered*2 >= size): a world of 1 needs its single
+// trace, a world of 2 classifies from one trace, and odd sizes round
+// the requirement up (2 of 5 is below quorum, 3 of 5 is enough). The
+// wait-for classifier (diagnose/waitfor.Analyze) uses this same
+// boundary so the two diagnosis layers agree on when evidence is too
+// thin. Ranks outside [0, size) and empty call chains are discarded
 // rather than trusted, so a corrupted partial capture can never panic
 // the diagnosis or put a phantom rank in the accusation list.
 func PartialDiagnosis(size int, traces map[int][]string) (verdict string, faulty []int) {

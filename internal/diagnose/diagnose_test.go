@@ -224,3 +224,43 @@ func TestPartialDiagnosis(t *testing.T) {
 		}
 	}
 }
+
+// TestPartialDiagnosisQuorumBoundary (satellite) pins the documented
+// exactly-half-observed quorum edge across tiny, even, and odd world
+// sizes: strictly less than half observed is Unknown, exactly half (or
+// the rounded-up majority for odd sizes) classifies.
+func TestPartialDiagnosisQuorumBoundary(t *testing.T) {
+	mpiTrace := []string{"main", "solver_step", "MPI_Allreduce"}
+	fill := func(n int) map[int][]string {
+		m := map[int][]string{}
+		for i := 0; i < n; i++ {
+			m[i] = mpiTrace
+		}
+		return m
+	}
+	cases := []struct {
+		size, covered int
+		verdict       string
+	}{
+		{1, 0, Unknown},            // a world of 1 needs its single trace
+		{1, 1, CommunicationError}, // ... and that trace is full coverage
+		{2, 0, Unknown},
+		{2, 1, CommunicationError}, // exactly half of an even world classifies
+		{2, 2, CommunicationError},
+		{3, 1, Unknown}, // odd worlds round the requirement up
+		{3, 2, CommunicationError},
+		{4, 1, Unknown},
+		{4, 2, CommunicationError}, // exactly half again
+		{5, 2, Unknown},
+		{5, 3, CommunicationError},
+	}
+	for _, c := range cases {
+		verdict, faulty := PartialDiagnosis(c.size, fill(c.covered))
+		if verdict != c.verdict {
+			t.Errorf("size %d, %d observed: verdict %q, want %q", c.size, c.covered, verdict, c.verdict)
+		}
+		if len(faulty) != 0 {
+			t.Errorf("size %d, %d observed: accused %v from all-in-MPI traces", c.size, c.covered, faulty)
+		}
+	}
+}

@@ -1,0 +1,385 @@
+package waitfor
+
+import (
+	"fmt"
+	"sort"
+
+	"parastack/internal/mpi"
+)
+
+// Cause is a named hang root cause. The values are stable strings:
+// they appear in sweep JSONL records and the paper's accuracy table.
+type Cause string
+
+const (
+	// CauseUnknown is the honest non-answer: evidence below quorum,
+	// corrupted, or matching no known pattern. Under chaos the
+	// classifier must prefer it to a wrong named cause.
+	CauseUnknown Cause = "unknown"
+	// CauseDeadlock is a wait-for cycle of receive dependencies,
+	// reported with the cycle's edges (a self-receive is a 1-cycle).
+	CauseDeadlock Cause = "deadlock"
+	// CauseStragglerChain is a dependency chain terminating at a rank
+	// stuck outside MPI (computing forever): everyone waits,
+	// transitively, on a compute-stuck straggler.
+	CauseStragglerChain Cause = "straggler-chain"
+	// CauseLostMessage is an unmatched receive naming a real peer that
+	// has moved past any send: the wanted message will never arrive.
+	CauseLostMessage Cause = "lost-message"
+	// CauseCollectiveMismatch is two groups of ranks parked in
+	// different collective instances on the same communicator, each
+	// group waiting on the other.
+	CauseCollectiveMismatch Cause = "collective-mismatch"
+)
+
+// Edge is one wait-for dependency in reported evidence: From cannot
+// progress until To does.
+type Edge struct {
+	From int    `json:"from"`
+	To   int    `json:"to"`
+	Why  string `json:"why,omitempty"`
+}
+
+// LostPair names both ends of an unmatched message.
+type LostPair struct {
+	Receiver int `json:"receiver"`
+	Sender   int `json:"sender"`
+	Tag      int `json:"tag"`
+}
+
+// CollGroup is one set of ranks parked in the same collective instance.
+type CollGroup struct {
+	Comm  int    `json:"comm"`
+	Seq   uint64 `json:"seq"`
+	Op    string `json:"op,omitempty"`
+	Ranks []int  `json:"ranks"`
+}
+
+// Diagnosis is a classified hang with its evidence. Exactly the fields
+// backing the cause are populated: Cycle for a deadlock, Chain for a
+// straggler chain, Lost for a lost message, Groups for a collective
+// mismatch. Culprits are the implicated ranks; every rank named
+// anywhere in a Diagnosis was observed in the snapshot.
+type Diagnosis struct {
+	Cause    Cause       `json:"cause"`
+	Size     int         `json:"size"`
+	Observed int         `json:"observed"`
+	Culprits []int       `json:"culprits,omitempty"`
+	Cycle    []Edge      `json:"cycle,omitempty"`
+	Chain    []Edge      `json:"chain,omitempty"`
+	Lost     *LostPair   `json:"lost,omitempty"`
+	Groups   []CollGroup `json:"groups,omitempty"`
+	Detail   string      `json:"detail,omitempty"`
+}
+
+// Analyze classifies a hang from a snapshot. It is a pure function of
+// plain data, hardened against adversarial input (the fuzzer's job to
+// prove): malformed snapshots — out-of-range or duplicate ranks,
+// out-of-range wait targets, nil input — are sanitized, never panicked
+// on, and no rank the snapshot does not mark observed is ever accused.
+//
+// Causes are tested in a fixed precedence order; the first match wins:
+//
+//  1. below-quorum coverage (strictly less than half observed, the
+//     same boundary PartialDiagnosis documents) → unknown;
+//  2. collective mismatch — distinct collective instances on one
+//     communicator with *mutual* cross-waiting (mutuality keeps
+//     root-behind Gather scenarios from misfiring);
+//  3. deadlock — a cycle of receive edges;
+//  4. straggler chain — someone waits on a rank that is stuck outside
+//     MPI (checked before lost-message because the straggler explains
+//     every dangling receive pointed at it);
+//  5. lost message — a receive naming an observed peer that has moved
+//     past any send (into a collective, or terminated);
+//  6. unknown.
+func Analyze(s *Snapshot) *Diagnosis {
+	if s == nil || s.Size <= 0 {
+		return &Diagnosis{Cause: CauseUnknown, Detail: "empty snapshot"}
+	}
+	size := s.Size
+	d := &Diagnosis{Cause: CauseUnknown, Size: size}
+
+	// Sanitize: keep the first observed entry per in-range rank, drop
+	// out-of-range wait targets. Everything downstream trusts `states`.
+	states := make(map[int]RankState, len(s.Ranks))
+	for _, rs := range s.Ranks {
+		if rs.Rank < 0 || rs.Rank >= size || !rs.Observed {
+			continue
+		}
+		if _, dup := states[rs.Rank]; dup {
+			continue
+		}
+		var waits []int
+		for _, w := range rs.WaitingFor {
+			if w >= 0 && w < size {
+				waits = append(waits, w)
+			}
+		}
+		rs.WaitingFor = waits
+		states[rs.Rank] = rs
+	}
+	d.Observed = len(states)
+	if d.Observed == 0 || d.Observed*2 < size {
+		d.Detail = fmt.Sprintf("%d/%d ranks observed: below quorum", d.Observed, size)
+		return d
+	}
+	observed := make([]int, 0, len(states))
+	for r := range states {
+		observed = append(observed, r)
+	}
+	sort.Ints(observed)
+
+	if diag := classifyMismatch(d, states, observed); diag {
+		return d
+	}
+	if diag := classifyDeadlock(d, states, observed); diag {
+		return d
+	}
+	if diag := classifyStraggler(d, states, observed); diag {
+		return d
+	}
+	if diag := classifyLost(d, states, observed); diag {
+		return d
+	}
+	d.Detail = "no known hang pattern in the observed wait-for graph"
+	return d
+}
+
+// classifyMismatch looks for ranks split across distinct collective
+// instances (different Seq or Op) on the same communicator where the
+// groups mutually wait on each other. One-directional waiting is
+// normal (a Gather root waits on latecomers); mutual waiting means no
+// execution order can ever reconcile the two instances.
+func classifyMismatch(d *Diagnosis, states map[int]RankState, observed []int) bool {
+	type gkey struct {
+		comm int
+		seq  uint64
+		op   string
+	}
+	groups := map[gkey][]int{}
+	for _, r := range observed {
+		rs := states[r]
+		if rs.Kind != mpi.BlockedCollective || rs.Comm == mpi.NoComm {
+			continue
+		}
+		k := gkey{rs.Comm, rs.Seq, rs.Op}
+		groups[k] = append(groups[k], r)
+	}
+	byComm := map[int][]gkey{}
+	for k := range groups {
+		byComm[k.comm] = append(byComm[k.comm], k)
+	}
+	comms := make([]int, 0, len(byComm))
+	for c := range byComm {
+		comms = append(comms, c)
+	}
+	sort.Ints(comms)
+	waitSet := func(members []int) map[int]bool {
+		set := map[int]bool{}
+		for _, r := range members {
+			for _, w := range states[r].WaitingFor {
+				set[w] = true
+			}
+		}
+		return set
+	}
+	anyIn := func(members []int, set map[int]bool) bool {
+		for _, r := range members {
+			if set[r] {
+				return true
+			}
+		}
+		return false
+	}
+	for _, c := range comms {
+		keys := byComm[c]
+		if len(keys) < 2 {
+			continue
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i].seq != keys[j].seq {
+				return keys[i].seq < keys[j].seq
+			}
+			return keys[i].op < keys[j].op
+		})
+		for i := 0; i < len(keys); i++ {
+			for j := i + 1; j < len(keys); j++ {
+				g1, g2 := groups[keys[i]], groups[keys[j]]
+				if !anyIn(g2, waitSet(g1)) || !anyIn(g1, waitSet(g2)) {
+					continue
+				}
+				// Mutual cross-wait found: report every instance on this
+				// comm, largest first; culprits are the minority groups.
+				for _, k := range keys {
+					members := append([]int(nil), groups[k]...)
+					sort.Ints(members)
+					d.Groups = append(d.Groups, CollGroup{Comm: k.comm, Seq: k.seq, Op: k.op, Ranks: members})
+				}
+				sort.SliceStable(d.Groups, func(a, b int) bool {
+					return len(d.Groups[a].Ranks) > len(d.Groups[b].Ranks)
+				})
+				for _, g := range d.Groups[1:] {
+					d.Culprits = append(d.Culprits, g.Ranks...)
+				}
+				sort.Ints(d.Culprits)
+				d.Cause = CauseCollectiveMismatch
+				d.Detail = fmt.Sprintf("ranks split across %d collective instances on comm %d", len(d.Groups), c)
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// classifyDeadlock finds a cycle of receive dependencies. Every
+// observed blocked receive with a concrete observed peer contributes
+// one edge; since each node has at most one successor the reachable
+// structure is a functional graph, and one marked walk per node finds
+// a cycle if any exists.
+func classifyDeadlock(d *Diagnosis, states map[int]RankState, observed []int) bool {
+	succ := map[int]int{}
+	for _, r := range observed {
+		rs := states[r]
+		if rs.Kind != mpi.BlockedRecv || rs.Peer < 0 || rs.Peer >= d.Size {
+			continue
+		}
+		if _, ok := states[rs.Peer]; !ok {
+			continue // never accuse (or route evidence through) an unobserved rank
+		}
+		succ[r] = rs.Peer
+	}
+	const (
+		unseen = 0
+		inWalk = 1
+		done   = 2
+	)
+	color := map[int]int{}
+	for _, start := range observed {
+		if color[start] != unseen {
+			continue
+		}
+		var path []int
+		r := start
+		for {
+			color[r] = inWalk
+			path = append(path, r)
+			next, ok := succ[r]
+			if !ok || color[next] == done {
+				break
+			}
+			if color[next] == inWalk {
+				// Cycle: the suffix of path from next onward.
+				i := 0
+				for path[i] != next {
+					i++
+				}
+				cyc := path[i:]
+				for k, from := range cyc {
+					to := cyc[(k+1)%len(cyc)]
+					d.Cycle = append(d.Cycle, Edge{From: from, To: to,
+						Why: fmt.Sprintf("%s src=%d tag=%d", states[from].Op, states[from].Peer, states[from].Tag)})
+				}
+				d.Culprits = append(d.Culprits, cyc...)
+				sort.Ints(d.Culprits)
+				d.Cause = CauseDeadlock
+				d.Detail = fmt.Sprintf("receive cycle of %d rank(s)", len(cyc))
+				return true
+			}
+			r = next
+		}
+		for _, p := range path {
+			color[p] = done
+		}
+	}
+	return false
+}
+
+// classifyStraggler finds observed ranks stuck *outside* MPI that at
+// least one observed rank waits on — the compute-stuck stragglers the
+// paper's OUT_MPI scan also hunts — and reports a wait chain ending at
+// the first one as evidence.
+func classifyStraggler(d *Diagnosis, states map[int]RankState, observed []int) bool {
+	incoming := map[int][]Edge{}
+	for _, r := range observed {
+		rs := states[r]
+		for _, w := range rs.WaitingFor {
+			incoming[w] = append(incoming[w], Edge{From: r, To: w, Why: rs.Op})
+		}
+	}
+	for _, r := range observed {
+		if states[r].Kind == mpi.NotBlocked && len(incoming[r]) > 0 {
+			d.Culprits = append(d.Culprits, r)
+		}
+	}
+	if len(d.Culprits) == 0 {
+		return false
+	}
+	sort.Ints(d.Culprits)
+	// Evidence: one chain of wait edges terminating at the first
+	// culprit, extended backward while some new rank waits on the head.
+	culprit := d.Culprits[0]
+	inChain := map[int]bool{culprit: true}
+	head := incoming[culprit][0]
+	d.Chain = []Edge{head}
+	inChain[head.From] = true
+	for len(d.Chain) < d.Size {
+		ext, ok := Edge{}, false
+		for _, e := range incoming[d.Chain[0].From] {
+			if !inChain[e.From] {
+				ext, ok = e, true
+				break
+			}
+		}
+		if !ok {
+			break
+		}
+		d.Chain = append([]Edge{ext}, d.Chain...)
+		inChain[ext.From] = true
+	}
+	d.Cause = CauseStragglerChain
+	d.Detail = fmt.Sprintf("%d rank(s) stuck outside MPI with others waiting on them", len(d.Culprits))
+	return true
+}
+
+// classifyLost finds a blocked receive naming a concrete observed peer
+// that can no longer send: the peer is parked in a collective or has
+// terminated, so the wanted message was lost (never sent, in the
+// simulated world's eager-send semantics).
+func classifyLost(d *Diagnosis, states map[int]RankState, observed []int) bool {
+	for _, r := range observed {
+		rs := states[r]
+		if rs.Kind != mpi.BlockedRecv || rs.Peer < 0 || rs.Peer >= d.Size {
+			continue
+		}
+		peer, ok := states[rs.Peer]
+		if !ok {
+			continue
+		}
+		if peer.Kind != mpi.BlockedCollective && peer.Kind != mpi.Terminated {
+			continue
+		}
+		d.Lost = &LostPair{Receiver: r, Sender: rs.Peer, Tag: rs.Tag}
+		d.Culprits = []int{r, rs.Peer}
+		sort.Ints(d.Culprits)
+		d.Cause = CauseLostMessage
+		d.Detail = fmt.Sprintf("rank %d waits on tag %d from rank %d, which moved past any send (%s)",
+			r, rs.Tag, rs.Peer, peer.Kind)
+		return true
+	}
+	return false
+}
+
+// String renders the diagnosis compactly for CLI output.
+func (d *Diagnosis) String() string {
+	if d == nil {
+		return string(CauseUnknown)
+	}
+	s := string(d.Cause)
+	if len(d.Culprits) > 0 {
+		s += fmt.Sprintf(" (culprits %v)", d.Culprits)
+	}
+	if d.Detail != "" {
+		s += ": " + d.Detail
+	}
+	return s
+}

@@ -1,0 +1,319 @@
+package waitfor
+
+import (
+	"testing"
+
+	"parastack/internal/fault"
+	"parastack/internal/mpi"
+)
+
+// Hand-built snapshot helpers: states default to observed.
+
+func obs(rank int, kind mpi.BlockKind) RankState {
+	return RankState{Rank: rank, Observed: true, Kind: kind, Peer: mpi.NoPeer, Comm: mpi.NoComm}
+}
+
+func recvOn(rank, peer, tag int) RankState {
+	rs := obs(rank, mpi.BlockedRecv)
+	rs.Op = "MPI_Recv"
+	rs.Peer = peer
+	rs.Tag = tag
+	if peer >= 0 {
+		rs.WaitingFor = []int{peer}
+	}
+	return rs
+}
+
+func collAt(rank, comm int, seq uint64, op string, waiting ...int) RankState {
+	rs := obs(rank, mpi.BlockedCollective)
+	rs.Op = op
+	rs.Comm = comm
+	rs.Seq = seq
+	rs.WaitingFor = waiting
+	return rs
+}
+
+func snap(size int, ranks ...RankState) *Snapshot {
+	return &Snapshot{Size: size, Ranks: ranks}
+}
+
+func TestAnalyzeDegenerateInputs(t *testing.T) {
+	for name, s := range map[string]*Snapshot{
+		"nil":        nil,
+		"zero-size":  snap(0),
+		"neg-size":   snap(-3, obs(0, mpi.BlockedRecv)),
+		"no-ranks":   snap(8),
+		"unobserved": {Size: 2, Ranks: []RankState{{Rank: 0}, {Rank: 1}}},
+	} {
+		d := Analyze(s)
+		if d.Cause != CauseUnknown {
+			t.Errorf("%s: cause = %v, want unknown", name, d.Cause)
+		}
+		if len(d.Culprits) != 0 {
+			t.Errorf("%s: culprits = %v, want none", name, d.Culprits)
+		}
+	}
+}
+
+// TestQuorumBoundary pins the coverage threshold: strictly less than
+// half observed is unknown; exactly half classifies. Same rule as
+// diagnose.PartialDiagnosis.
+func TestQuorumBoundary(t *testing.T) {
+	// Size 4: 1 observed (below half) → unknown even with a clear self-loop.
+	d := Analyze(snap(4, recvOn(0, 0, 1)))
+	if d.Cause != CauseUnknown {
+		t.Fatalf("1/4 observed: cause = %v, want unknown", d.Cause)
+	}
+	// Size 4: exactly half observed → the self-loop deadlock is named.
+	d = Analyze(snap(4, recvOn(0, 0, 1), obs(1, mpi.Terminated)))
+	if d.Cause != CauseDeadlock {
+		t.Fatalf("2/4 observed: cause = %v, want deadlock", d.Cause)
+	}
+	// Size 5: 2 observed (2*2 < 5) → unknown; 3 observed → classifies.
+	d = Analyze(snap(5, recvOn(0, 0, 1), obs(1, mpi.Terminated)))
+	if d.Cause != CauseUnknown {
+		t.Fatalf("2/5 observed: cause = %v, want unknown", d.Cause)
+	}
+	d = Analyze(snap(5, recvOn(0, 0, 1), obs(1, mpi.Terminated), obs(2, mpi.Terminated)))
+	if d.Cause != CauseDeadlock {
+		t.Fatalf("3/5 observed: cause = %v, want deadlock", d.Cause)
+	}
+}
+
+func TestSelfLoopDeadlock(t *testing.T) {
+	d := Analyze(snap(2,
+		recvOn(0, 0, 0x7fffffff),
+		collAt(1, 0, 3, "MPI_Allreduce", 0),
+	))
+	if d.Cause != CauseDeadlock {
+		t.Fatalf("cause = %v, want deadlock", d.Cause)
+	}
+	if len(d.Cycle) != 1 || d.Cycle[0].From != 0 || d.Cycle[0].To != 0 {
+		t.Fatalf("cycle = %+v, want the self-loop 0→0", d.Cycle)
+	}
+	if len(d.Culprits) != 1 || d.Culprits[0] != 0 {
+		t.Fatalf("culprits = %v, want [0]", d.Culprits)
+	}
+}
+
+func TestMultiCycleReportsOne(t *testing.T) {
+	// Two disjoint 2-cycles; the analyzer must report one complete,
+	// consistent cycle (deterministically the lowest-ranked one).
+	d := Analyze(snap(4,
+		recvOn(0, 1, 1), recvOn(1, 0, 1),
+		recvOn(2, 3, 2), recvOn(3, 2, 2),
+	))
+	if d.Cause != CauseDeadlock {
+		t.Fatalf("cause = %v, want deadlock", d.Cause)
+	}
+	if len(d.Cycle) != 2 {
+		t.Fatalf("cycle has %d edges, want 2: %+v", len(d.Cycle), d.Cycle)
+	}
+	if d.Culprits[0] != 0 || d.Culprits[1] != 1 {
+		t.Fatalf("culprits = %v, want [0 1]", d.Culprits)
+	}
+	// The reported cycle must be closed: each edge's To is the next From.
+	for i, e := range d.Cycle {
+		if next := d.Cycle[(i+1)%len(d.Cycle)]; e.To != next.From {
+			t.Fatalf("cycle not closed at edge %d: %+v", i, d.Cycle)
+		}
+	}
+}
+
+func TestLongCycle(t *testing.T) {
+	// 0→1→2→3→0 through a chain of receives, plus a disconnected
+	// terminated component that must not disturb it.
+	d := Analyze(snap(6,
+		recvOn(0, 1, 0), recvOn(1, 2, 0), recvOn(2, 3, 0), recvOn(3, 0, 0),
+		obs(4, mpi.Terminated), obs(5, mpi.Terminated),
+	))
+	if d.Cause != CauseDeadlock || len(d.Cycle) != 4 {
+		t.Fatalf("diagnosis = %+v, want a 4-cycle deadlock", d)
+	}
+}
+
+func TestStragglerChain(t *testing.T) {
+	// 0 waits on 1, 1 waits on 2, 2 is stuck computing: the chain must
+	// terminate at 2 and name only 2 as culprit.
+	d := Analyze(snap(3,
+		recvOn(0, 1, 7),
+		recvOn(1, 2, 7),
+		obs(2, mpi.NotBlocked),
+	))
+	if d.Cause != CauseStragglerChain {
+		t.Fatalf("cause = %v, want straggler-chain", d.Cause)
+	}
+	if len(d.Culprits) != 1 || d.Culprits[0] != 2 {
+		t.Fatalf("culprits = %v, want [2]", d.Culprits)
+	}
+	if len(d.Chain) != 2 {
+		t.Fatalf("chain = %+v, want two edges 0→1→2", d.Chain)
+	}
+	if last := d.Chain[len(d.Chain)-1]; last.To != 2 {
+		t.Fatalf("chain ends at %d, want the straggler 2: %+v", last.To, d.Chain)
+	}
+}
+
+func TestStragglerMultipleCulprits(t *testing.T) {
+	// A frozen node: ranks 2 and 3 both stuck computing, both waited on.
+	d := Analyze(snap(4,
+		collAt(0, 0, 9, "MPI_Allreduce", 2, 3),
+		collAt(1, 0, 9, "MPI_Allreduce", 2, 3),
+		obs(2, mpi.NotBlocked),
+		obs(3, mpi.NotBlocked),
+	))
+	if d.Cause != CauseStragglerChain {
+		t.Fatalf("cause = %v, want straggler-chain", d.Cause)
+	}
+	if len(d.Culprits) != 2 || d.Culprits[0] != 2 || d.Culprits[1] != 3 {
+		t.Fatalf("culprits = %v, want [2 3]", d.Culprits)
+	}
+}
+
+func TestLostMessage(t *testing.T) {
+	d := Analyze(snap(3,
+		recvOn(0, 2, 9),
+		collAt(1, 0, 4, "MPI_Allreduce", 0, 2),
+		collAt(2, 0, 4, "MPI_Allreduce", 0),
+	))
+	if d.Cause != CauseLostMessage {
+		t.Fatalf("cause = %v, want lost-message", d.Cause)
+	}
+	if d.Lost == nil || d.Lost.Receiver != 0 || d.Lost.Sender != 2 || d.Lost.Tag != 9 {
+		t.Fatalf("lost pair = %+v, want receiver 0 / sender 2 / tag 9", d.Lost)
+	}
+}
+
+func TestLostMessagePeerTerminated(t *testing.T) {
+	d := Analyze(snap(2, recvOn(0, 1, 3), obs(1, mpi.Terminated)))
+	if d.Cause != CauseLostMessage {
+		t.Fatalf("cause = %v, want lost-message", d.Cause)
+	}
+}
+
+func TestStragglerBeatsLost(t *testing.T) {
+	// Both patterns present: rank 0's dangling receive points at the
+	// compute-stuck rank 1 — the straggler explains it, so the chain
+	// diagnosis must win over lost-message.
+	d := Analyze(snap(2, recvOn(0, 1, 3), obs(1, mpi.NotBlocked)))
+	if d.Cause != CauseStragglerChain {
+		t.Fatalf("cause = %v, want straggler-chain", d.Cause)
+	}
+}
+
+func TestCollectiveMismatchMutual(t *testing.T) {
+	// Rank 2 parked in a Barrier nobody joins; 0 and 1 in an Allreduce
+	// missing rank 2. Mutual cross-wait on comm 0 → mismatch, with the
+	// minority group accused.
+	d := Analyze(snap(3,
+		collAt(0, 0, 5, "MPI_Allreduce", 2),
+		collAt(1, 0, 5, "MPI_Allreduce", 2),
+		collAt(2, 0, 1<<63, "MPI_Barrier", 0, 1),
+	))
+	if d.Cause != CauseCollectiveMismatch {
+		t.Fatalf("cause = %v, want collective-mismatch", d.Cause)
+	}
+	if len(d.Culprits) != 1 || d.Culprits[0] != 2 {
+		t.Fatalf("culprits = %v, want the minority group [2]", d.Culprits)
+	}
+	if len(d.Groups) != 2 || len(d.Groups[0].Ranks) != 2 {
+		t.Fatalf("groups = %+v, want majority-first pair", d.Groups)
+	}
+}
+
+func TestMismatchRequiresMutuality(t *testing.T) {
+	// A Gather whose root lags: non-roots moved on to the next
+	// collective and wait on the root; the root waits only on a
+	// straggler outside the groups. One-directional → not a mismatch.
+	d := Analyze(snap(4,
+		collAt(0, 0, 2, "MPI_Gather", 3),       // root, waiting on the straggler
+		collAt(1, 0, 3, "MPI_Allreduce", 0, 3), // moved on, waits on root
+		collAt(2, 0, 3, "MPI_Allreduce", 0, 3),
+		obs(3, mpi.NotBlocked), // the actual straggler
+	))
+	if d.Cause != CauseStragglerChain {
+		t.Fatalf("cause = %v, want straggler-chain (mismatch must not misfire)", d.Cause)
+	}
+}
+
+func TestMismatchDifferentCommsNoFire(t *testing.T) {
+	// Same op, same seq, *different* communicators: not a mismatch (and
+	// nothing else matches → unknown).
+	d := Analyze(snap(4,
+		collAt(0, 1, 0, "MPI_Barrier", 1),
+		collAt(1, 1, 0, "MPI_Barrier", 0),
+		collAt(2, 2, 0, "MPI_Barrier", 3),
+		collAt(3, 2, 0, "MPI_Barrier", 2),
+	))
+	if d.Cause == CauseCollectiveMismatch {
+		t.Fatalf("mismatch fired across different comms: %+v", d)
+	}
+}
+
+// TestUnobservedNeverAccused: every pattern must refuse to implicate a
+// rank the snapshot does not mark observed, even when edges point at it.
+func TestUnobservedNeverAccused(t *testing.T) {
+	// Straggler pattern with the straggler unobserved.
+	d := Analyze(snap(4,
+		recvOn(0, 3, 1),
+		collAt(1, 0, 2, "MPI_Allreduce", 3),
+		collAt(2, 0, 2, "MPI_Allreduce", 3),
+		// rank 3 unobserved
+	))
+	if d.Cause != CauseUnknown {
+		t.Fatalf("cause = %v, want unknown with the culprit unobserved", d.Cause)
+	}
+	// Deadlock pattern where half the cycle is unobserved.
+	d = Analyze(snap(4,
+		recvOn(0, 3, 1),
+		obs(1, mpi.Terminated),
+		obs(2, mpi.Terminated),
+		// rank 3 (which would close a cycle back to 0) unobserved
+	))
+	if d.Cause == CauseDeadlock {
+		t.Fatalf("deadlock accused through an unobserved rank: %+v", d)
+	}
+	for _, c := range d.Culprits {
+		if c == 3 {
+			t.Fatalf("unobserved rank 3 accused: %+v", d)
+		}
+	}
+}
+
+// TestSanitizeAdversarial: duplicate ranks, out-of-range ranks, and
+// out-of-range wait targets are dropped, not trusted.
+func TestSanitizeAdversarial(t *testing.T) {
+	dup := recvOn(0, 0, 1)
+	other := obs(0, mpi.Terminated) // duplicate rank 0: first entry wins
+	junk := RankState{Rank: -5, Observed: true, Kind: mpi.BlockedRecv, Peer: 0}
+	far := RankState{Rank: 99, Observed: true, Kind: mpi.NotBlocked}
+	bad := collAt(1, 0, 0, "MPI_Barrier", -7, 42, 0)
+	d := Analyze(snap(2, dup, other, junk, far, bad))
+	if d.Observed != 2 {
+		t.Fatalf("observed = %d, want 2 after sanitizing", d.Observed)
+	}
+	if d.Cause != CauseDeadlock {
+		t.Fatalf("cause = %v, want deadlock from the first rank-0 entry", d.Cause)
+	}
+	for _, c := range d.Culprits {
+		if c < 0 || c >= 2 {
+			t.Fatalf("out-of-range culprit %d", c)
+		}
+	}
+}
+
+func TestExpectedCause(t *testing.T) {
+	want := map[fault.Kind]Cause{
+		fault.None:                  "",
+		fault.ComputationHang:       CauseStragglerChain,
+		fault.NodeFreeze:            CauseStragglerChain,
+		fault.CommunicationDeadlock: CauseDeadlock,
+		fault.LostMessage:           CauseLostMessage,
+		fault.CollectiveMismatch:    CauseCollectiveMismatch,
+	}
+	for k, c := range want {
+		if got := ExpectedCause(k); got != c {
+			t.Errorf("ExpectedCause(%v) = %q, want %q", k, got, c)
+		}
+	}
+}

@@ -1,0 +1,22 @@
+package waitfor
+
+import "parastack/internal/fault"
+
+// ExpectedCause maps an injected fault kind to the cause a correct
+// classifier should diagnose — the ground-truth side of the accuracy
+// table and the property suite. None has no expected cause (a clean
+// run that hangs anyway is, by definition, unexplained).
+func ExpectedCause(k fault.Kind) Cause {
+	switch k {
+	case fault.ComputationHang, fault.NodeFreeze:
+		return CauseStragglerChain
+	case fault.CommunicationDeadlock:
+		return CauseDeadlock
+	case fault.LostMessage:
+		return CauseLostMessage
+	case fault.CollectiveMismatch:
+		return CauseCollectiveMismatch
+	default:
+		return ""
+	}
+}

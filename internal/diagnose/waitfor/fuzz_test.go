@@ -1,0 +1,85 @@
+package waitfor
+
+import (
+	"encoding/json"
+	"testing"
+
+	"parastack/internal/mpi"
+)
+
+// FuzzAnalyze drives the classifier with arbitrary serialized
+// snapshots and checks its two hard safety properties:
+//
+//  1. it never panics, whatever the bytes decode to;
+//  2. it never accuses an unobserved (or out-of-range) rank — every
+//     rank named anywhere in the diagnosis must appear in the snapshot
+//     as an observed, in-range entry.
+func FuzzAnalyze(f *testing.F) {
+	seed := func(s *Snapshot) {
+		b, err := json.Marshal(s)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+	}
+	seed(snap(2, recvOn(0, 0, 1), obs(1, mpi.Terminated)))
+	seed(snap(3, recvOn(0, 1, 7), recvOn(1, 2, 7), obs(2, mpi.NotBlocked)))
+	seed(snap(3,
+		collAt(0, 0, 5, "MPI_Allreduce", 2),
+		collAt(1, 0, 5, "MPI_Allreduce", 2),
+		collAt(2, 0, 1<<62, "MPI_Barrier", 0, 1)))
+	seed(snap(3, recvOn(0, 2, 9), collAt(1, 0, 4, "MPI_Allreduce", 0, 2), collAt(2, 0, 4, "MPI_Allreduce", 0)))
+	seed(snap(4, recvOn(0, 3, 1), obs(1, mpi.Terminated), obs(2, mpi.Terminated)))
+	seed(&Snapshot{Size: 2, Ranks: []RankState{{Rank: -5, Observed: true}, {Rank: 99, Observed: true}}})
+	f.Add([]byte(`{"size":9007199254740993,"ranks":[{"rank":1,"observed":true}]}`))
+	f.Add([]byte(`not json at all`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var s Snapshot
+		if err := json.Unmarshal(data, &s); err != nil {
+			s = Snapshot{} // still exercise Analyze on the zero value
+		}
+		d := Analyze(&s) // must not panic
+		if d == nil {
+			t.Fatal("Analyze returned nil")
+		}
+
+		// Reconstruct the set of ranks the classifier was allowed to
+		// accuse: observed, in-range entries of the raw snapshot.
+		allowed := map[int]bool{}
+		for _, rs := range s.Ranks {
+			if rs.Observed && rs.Rank >= 0 && rs.Rank < s.Size {
+				allowed[rs.Rank] = true
+			}
+		}
+		check := func(what string, rank int) {
+			if !allowed[rank] {
+				t.Fatalf("%s names rank %d, which was never observed (cause %s)", what, rank, d.Cause)
+			}
+		}
+		for _, c := range d.Culprits {
+			check("culprits", c)
+		}
+		for _, e := range d.Cycle {
+			check("cycle", e.From)
+			check("cycle", e.To)
+		}
+		for _, e := range d.Chain {
+			check("chain", e.From)
+			check("chain", e.To)
+		}
+		if d.Lost != nil {
+			check("lost pair", d.Lost.Receiver)
+			check("lost pair", d.Lost.Sender)
+		}
+		for _, g := range d.Groups {
+			for _, r := range g.Ranks {
+				check("collective group", r)
+			}
+		}
+		if d.Cause == CauseUnknown &&
+			(len(d.Cycle) > 0 || len(d.Chain) > 0 || d.Lost != nil || len(d.Groups) > 0) {
+			t.Fatalf("unknown diagnosis carries evidence: %+v", d)
+		}
+	})
+}

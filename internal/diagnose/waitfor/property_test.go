@@ -1,0 +1,200 @@
+// Property suite: run the full workload × fault × seed grid end to end
+// through the experiment harness and assert the diagnosed cause matches
+// the injected one, with evidence naming the planned victim. This lives
+// in an external test package because it drives internal/experiment,
+// which itself imports waitfor.
+package waitfor_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"parastack/internal/chaos"
+	"parastack/internal/core"
+	"parastack/internal/diagnose/waitfor"
+	"parastack/internal/experiment"
+	"parastack/internal/fault"
+	"parastack/internal/noise"
+	"parastack/internal/workload"
+)
+
+// gridParams is a fast 32-rank configuration of a real calibrated
+// workload (same shape the experiment harness tests use). Both CG and
+// LU calibrations carry ReduceEvery=1, so every iteration ends in a
+// global collective — a requirement for the collective-mismatch
+// signature to be observable (the healthy majority must reach a
+// collective of its own to mutually cross-wait with the orphan).
+func gridParams(name string) workload.Params {
+	p := workload.MustLookup(name, "D", 256)
+	p.Spec = workload.Spec{Name: name, Class: "test", Procs: 32}
+	p.Iters = 400
+	p.Compute = 120 * time.Millisecond
+	p.HaloBytes = 16 << 10
+	return p
+}
+
+var gridKinds = []fault.Kind{
+	fault.ComputationHang,
+	fault.NodeFreeze,
+	fault.CommunicationDeadlock,
+	fault.LostMessage,
+	fault.CollectiveMismatch,
+}
+
+func contains(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+func subset(xs, of []int) bool {
+	for _, v := range xs {
+		if !contains(of, v) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestCausePropertyGrid is the tentpole property: for every workload ×
+// fault kind × seed cell, the cause diagnosed from the wait-for graph
+// at verdict time equals the cause that was injected, and the evidence
+// names the planned victim. Chaos is off, so the required accuracy is
+// exactly 100% — any mismatch is a classifier bug, not noise.
+func TestCausePropertyGrid(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full grid is not a -short test")
+	}
+	for _, wl := range []string{"CG", "LU"} {
+		for _, kind := range gridKinds {
+			for seed := int64(2); seed <= 3; seed++ {
+				wl, kind, seed := wl, kind, seed
+				t.Run(fmt.Sprintf("%s/%s/seed%d", wl, kind, seed), func(t *testing.T) {
+					t.Parallel()
+					res := experiment.Run(experiment.RunConfig{
+						Params:    gridParams(wl),
+						Platform:  noise.Tardis(),
+						PPN:       8,
+						Seed:      seed,
+						FaultKind: kind,
+						Monitor:   &core.Config{},
+					})
+					if !res.Injected {
+						t.Fatal("fault not injected")
+					}
+					if !res.Detected {
+						t.Fatal("hang not detected")
+					}
+					d := res.Diagnosis
+					if d == nil {
+						t.Fatal("no diagnosis attached to a detected hang")
+					}
+					want := waitfor.ExpectedCause(kind)
+					if d.Cause != want || res.Cause != string(want) {
+						t.Fatalf("diagnosed %q (RunResult.Cause %q), injected %s expects %q\nevidence: %s",
+							d.Cause, res.Cause, kind, want, d)
+					}
+					if d.Size != 32 || d.Observed != 32 {
+						t.Fatalf("clean-chaos snapshot: observed %d/%d, want full coverage", d.Observed, d.Size)
+					}
+					if len(res.PlannedFail) == 0 {
+						t.Fatal("no planned victim recorded")
+					}
+					victim := res.PlannedFail[0]
+
+					switch kind {
+					case fault.ComputationHang:
+						if len(d.Culprits) != 1 || d.Culprits[0] != victim {
+							t.Errorf("culprits %v, want exactly the planned victim %v", d.Culprits, res.PlannedFail)
+						}
+						if len(d.Chain) == 0 || d.Chain[len(d.Chain)-1].To != victim {
+							t.Errorf("chain %v does not terminate at victim %d", d.Chain, victim)
+						}
+					case fault.NodeFreeze:
+						if len(d.Culprits) == 0 || !subset(d.Culprits, res.PlannedFail) {
+							t.Errorf("culprits %v, want a non-empty subset of the frozen node %v", d.Culprits, res.PlannedFail)
+						}
+					case fault.CommunicationDeadlock:
+						if len(d.Culprits) != 1 || d.Culprits[0] != victim {
+							t.Errorf("culprits %v, want exactly the planned victim %v", d.Culprits, res.PlannedFail)
+						}
+						if len(d.Cycle) == 0 {
+							t.Error("deadlock diagnosis carries no cycle evidence")
+						}
+					case fault.LostMessage:
+						if d.Lost == nil {
+							t.Fatal("lost-message diagnosis carries no pair")
+						}
+						if d.Lost.Receiver != victim {
+							t.Errorf("lost pair receiver %d, want planned victim %d", d.Lost.Receiver, victim)
+						}
+						if !contains(d.Culprits, victim) {
+							t.Errorf("culprits %v omit the victim %d", d.Culprits, victim)
+						}
+					case fault.CollectiveMismatch:
+						if len(d.Groups) < 2 {
+							t.Fatalf("mismatch diagnosis has %d collective group(s), want >= 2", len(d.Groups))
+						}
+						if !contains(d.Culprits, victim) {
+							t.Errorf("culprits %v omit the desynced victim %d", d.Culprits, victim)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestCauseDegradesUnderChaos is the chaos × diagnosis property
+// (satellite: graceful degradation): under the heavy chaos profile the
+// classifier may lose coverage and fall back to "unknown", but it must
+// never assert a *wrong* named cause — a misdirected root-cause claim
+// is worse than no claim.
+func TestCauseDegradesUnderChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos grid is not a -short test")
+	}
+	heavy, err := chaos.Parse("heavy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	detected, diagnosed := 0, 0
+	for _, kind := range gridKinds {
+		for seed := int64(2); seed <= 3; seed++ {
+			res := experiment.Run(experiment.RunConfig{
+				Params:    gridParams("CG"),
+				Platform:  noise.Tardis(),
+				PPN:       8,
+				Seed:      seed,
+				FaultKind: kind,
+				Monitor:   &core.Config{},
+				Chaos:     heavy,
+			})
+			if !res.Detected {
+				continue // heavy chaos may legitimately blind the detector
+			}
+			detected++
+			if res.Diagnosis == nil {
+				continue
+			}
+			want := string(waitfor.ExpectedCause(kind))
+			switch res.Cause {
+			case want:
+				diagnosed++
+			case string(waitfor.CauseUnknown):
+				// Honest degradation: fine.
+			default:
+				t.Errorf("%s seed %d: diagnosed %q under heavy chaos, want %q or unknown\nevidence: %s",
+					kind, seed, res.Cause, want, res.Diagnosis)
+			}
+		}
+	}
+	if detected == 0 {
+		t.Fatal("no run detected under heavy chaos: degradation property never exercised")
+	}
+	t.Logf("heavy chaos: %d detected, %d correctly diagnosed", detected, diagnosed)
+}

@@ -14,6 +14,7 @@ import (
 
 	"parastack/internal/chaos"
 	"parastack/internal/core"
+	"parastack/internal/diagnose/waitfor"
 	"parastack/internal/fault"
 	"parastack/internal/mpi"
 	"parastack/internal/noise"
@@ -135,6 +136,14 @@ type RunResult struct {
 	// Extra holds the verdicts of RunConfig.ExtraDetectors, in
 	// attachment order (a nil Report means that detector stayed quiet).
 	Extra []NamedReport
+
+	// Cause is the root-cause label the wait-for analysis diagnosed
+	// after the verdict ("" when no diagnosis ran — no verdict, or the
+	// run completed); Diagnosis carries the full evidence. The same
+	// diagnosis is attached to the winning report's Cause field, so it
+	// travels with the verdict through the sweep JSONL log.
+	Cause     string
+	Diagnosis *waitfor.Diagnosis
 
 	// Derived detector quality (for whichever detector was attached;
 	// ParaStack wins if both were).
@@ -349,6 +358,24 @@ func (rn *Runner) Run(rc RunConfig) RunResult {
 		res.Sout = *soutPts
 	}
 	res.Events = eng.EventsFired()
+	// Root-cause diagnosis: when a detector reported on a hung world,
+	// snapshot every rank's blocked operation and classify the hang.
+	// This happens before Shutdown — Capture reads the paused world and
+	// must see the blocked ranks, not their torn-down remains. Under
+	// chaos, visibility is what one more probe round would see: ranks
+	// whose probe would be lost or stale stay unobserved, so the
+	// classifier degrades toward unknown rather than trusting state
+	// nobody could have collected. (The extra chaos-stream draws happen
+	// after the run is decided, so determinism is unaffected.)
+	if verdict := firstReport(&res); verdict != nil && !res.Completed {
+		now := time.Duration(eng.Now())
+		snap := waitfor.Capture(w, func(rank int) bool {
+			return chInj.ProbeFate(rank, now) == chaos.FateOK
+		})
+		res.Diagnosis = waitfor.Analyze(snap)
+		res.Cause = string(res.Diagnosis.Cause)
+		verdict.Cause = res.Diagnosis
+	}
 	// Release all parked goroutines (hung runs would otherwise leak
 	// their rank processes for the lifetime of the campaign). Done
 	// before the metric snapshot so terminations are counted in it.
@@ -386,8 +413,10 @@ func (rn *Runner) Run(rc RunConfig) RunResult {
 	// Faulty-identification quality (paper §7.2): per detected run,
 	// precision is |true∩reported| / |reported| (1/x_i for single-fault
 	// plans), accuracy is whether the true faulty ranks were found.
+	// Communication-phase faults strand their victim IN_MPI, where the
+	// OUT_MPI persistence scan cannot see it, so they are ineligible.
 	if res.Detected && res.Report != nil && len(res.PlannedFail) > 0 &&
-		rc.FaultKind != fault.CommunicationDeadlock {
+		!rc.FaultKind.CommPhase() {
 		truth := map[int]bool{}
 		for _, f := range res.PlannedFail {
 			truth[f] = true
@@ -404,6 +433,26 @@ func (rn *Runner) Run(rc RunConfig) RunResult {
 		}
 	}
 	return res
+}
+
+// firstReport returns the run's winning verdict in detector-priority
+// order — ParaStack, then the fixed-(I,K)/watchdog slot, then the
+// earliest extra report — the same order the Detected/FalsePositive
+// classification uses. nil when every detector stayed quiet.
+func firstReport(res *RunResult) *core.Report {
+	if res.Report != nil {
+		return res.Report
+	}
+	if res.TimeoutReport != nil {
+		return res.TimeoutReport
+	}
+	var best *core.Report
+	for _, nr := range res.Extra {
+		if nr.Report != nil && (best == nil || nr.Report.DetectedAt < best.DetectedAt) {
+			best = nr.Report
+		}
+	}
+	return best
 }
 
 // Campaign runs n copies of base with seeds seed0, seed0+1, … in
@@ -460,6 +509,15 @@ type Metrics struct {
 	// detected computation-fault runs (paper §7.2).
 	ACf, PRf      float64
 	FaultyChecked int
+	// Cause-classification quality over detected fault runs that got a
+	// wait-for diagnosis: CauseCorrect diagnoses matched the injected
+	// fault's expected cause, CauseUnknown degraded honestly to
+	// "unknown", and the remainder named a wrong cause. CauseAccuracy
+	// is CauseCorrect / CauseChecked.
+	CauseChecked  int
+	CauseCorrect  int
+	CauseUnknown  int
+	CauseAccuracy float64
 }
 
 // Aggregate computes campaign metrics.
@@ -486,15 +544,25 @@ func Aggregate(rs []RunResult) Metrics {
 			runtimes = append(runtimes, r.FinishedAt.Seconds())
 		}
 		// Same eligibility rule as Run's precision computation:
-		// communication-deadlock runs have no faulty ranks to identify
-		// (Precision is always 0 there), so counting them would
-		// silently dilute PRf and ACf.
+		// communication-phase faults (deadlock, lost message, collective
+		// mismatch) have no OUT_MPI ranks to identify (Precision is
+		// always 0 there), so counting them would silently dilute PRf
+		// and ACf.
 		if r.Detected && len(r.PlannedFail) > 0 && r.Report != nil &&
-			r.FaultKind != fault.CommunicationDeadlock {
+			!r.FaultKind.CommPhase() {
 			m.FaultyChecked++
 			precSum += r.Precision
 			if r.FaultyFound {
 				faultyFound++
+			}
+		}
+		if r.Detected && r.FaultKind != fault.None && r.Cause != "" {
+			m.CauseChecked++
+			switch r.Cause {
+			case string(waitfor.ExpectedCause(r.FaultKind)):
+				m.CauseCorrect++
+			case string(waitfor.CauseUnknown):
+				m.CauseUnknown++
 			}
 		}
 	}
@@ -511,6 +579,9 @@ func Aggregate(rs []RunResult) Metrics {
 	if m.FaultyChecked > 0 {
 		m.ACf = float64(faultyFound) / float64(m.FaultyChecked)
 		m.PRf = precSum / float64(m.FaultyChecked)
+	}
+	if m.CauseChecked > 0 {
+		m.CauseAccuracy = float64(m.CauseCorrect) / float64(m.CauseChecked)
 	}
 	return m
 }

@@ -32,6 +32,16 @@ const (
 	// that can never be matched, so it — and transitively everyone —
 	// ends up IN_MPI forever.
 	CommunicationDeadlock
+	// LostMessage makes the faulty rank wait for a message from a
+	// distant peer that was never sent (the simulated analogue of a
+	// dropped or corrupted message): the victim blocks in MPI_Recv
+	// naming a real peer that has long since moved on.
+	LostMessage
+	// CollectiveMismatch desynchronizes the faulty rank's collective
+	// call sequence: it enters a collective nobody else ever joins, so
+	// it and the rest of the job park in *different* collectives on the
+	// same communicator.
+	CollectiveMismatch
 )
 
 // String implements fmt.Stringer.
@@ -45,6 +55,10 @@ func (k Kind) String() string {
 		return "node-freeze"
 	case CommunicationDeadlock:
 		return "communication-deadlock"
+	case LostMessage:
+		return "lost-message"
+	case CollectiveMismatch:
+		return "collective-mismatch"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -62,6 +76,25 @@ var kindNames = map[string]Kind{
 	"node-freeze":            NodeFreeze,
 	"deadlock":               CommunicationDeadlock,
 	"communication-deadlock": CommunicationDeadlock,
+	"lost":                   LostMessage,
+	"lost-message":           LostMessage,
+	"mismatch":               CollectiveMismatch,
+	"collective-mismatch":    CollectiveMismatch,
+}
+
+// CommPhase reports whether the fault strands its victim *inside* MPI
+// (IN_MPI forever). The paper's faulty-rank identification only applies
+// to computation-error hangs — victims persistently OUT_MPI — so
+// detectors and accuracy metrics use this to know when identification
+// is structurally impossible and root-cause analysis must rely on the
+// wait-for graph instead.
+func (k Kind) CommPhase() bool {
+	switch k {
+	case CommunicationDeadlock, LostMessage, CollectiveMismatch:
+		return true
+	default:
+		return false
+	}
 }
 
 // Names lists every accepted fault-kind spelling, sorted.
@@ -174,6 +207,22 @@ func (in *Injector) Check(r *mpi.Rank, iter int) {
 		// Block forever inside MPI_Recv on a message nobody sends.
 		r.Recv(r.ID(), deadTag)
 		panic("fault: dead receive completed")
+	case LostMessage:
+		// Wait for a message a far-away peer "lost": the peer is real
+		// and keeps running, but it never sends on deadTag. The far
+		// offset keeps the victim's phantom dependency out of any
+		// halo-neighbor receive cycles, so the wait-for graph shows a
+		// dangling edge, not a spurious deadlock.
+		size := r.World().Size()
+		off := size / 2
+		if off < 1 {
+			off = 1
+		}
+		r.Recv((r.ID()+off)%size, deadTag)
+		panic("fault: lost-message receive completed")
+	case CollectiveMismatch:
+		// Enter an orphan collective nobody else ever joins.
+		r.DesyncCollective(mpi.CollBarrier)
 	}
 }
 

@@ -150,6 +150,10 @@ func TestParseAllSpellings(t *testing.T) {
 		{"node-freeze", NodeFreeze},
 		{"deadlock", CommunicationDeadlock},
 		{"communication-deadlock", CommunicationDeadlock},
+		{"lost", LostMessage},
+		{"lost-message", LostMessage},
+		{"mismatch", CollectiveMismatch},
+		{"collective-mismatch", CollectiveMismatch},
 	}
 	for _, c := range cases {
 		got, err := Parse(c.name)
@@ -166,9 +170,72 @@ func TestParseAllSpellings(t *testing.T) {
 		t.Errorf("test table covers %d spellings, registry has %d: %v", len(cases)-1, len(Names()), Names())
 	}
 	// Every String form must parse back to its kind.
-	for _, k := range []Kind{None, ComputationHang, NodeFreeze, CommunicationDeadlock} {
+	for _, k := range []Kind{None, ComputationHang, NodeFreeze, CommunicationDeadlock, LostMessage, CollectiveMismatch} {
 		if got, err := Parse(k.String()); err != nil || got != k {
 			t.Errorf("Parse(%v.String()) = %v, %v", k, got, err)
+		}
+	}
+}
+
+// TestCommPhase pins the IN_MPI/OUT_MPI split the detectors and
+// accuracy metrics rely on.
+func TestCommPhase(t *testing.T) {
+	inMPI := map[Kind]bool{
+		None:                  false,
+		ComputationHang:       false,
+		NodeFreeze:            false,
+		CommunicationDeadlock: true,
+		LostMessage:           true,
+		CollectiveMismatch:    true,
+	}
+	for k, want := range inMPI {
+		if got := k.CommPhase(); got != want {
+			t.Errorf("%v.CommPhase() = %v, want %v", k, got, want)
+		}
+	}
+}
+
+func TestLostMessage(t *testing.T) {
+	in := NewInjector(Plan{Kind: LostMessage, Rank: 1, Iteration: 2})
+	_, w := runWorkload(t, in, 4, 10)
+	if w.Done() {
+		t.Fatal("lost-message run reported done")
+	}
+	info := w.Rank(1).BlockInfo()
+	if info.Kind != mpi.BlockedRecv {
+		t.Fatalf("victim kind = %v, want BlockedRecv", info.Kind)
+	}
+	// The phantom peer is victim + size/2 = rank 3, a real rank that
+	// keeps running (here: stuck in the collective everyone else is in).
+	if info.Peer != 3 {
+		t.Fatalf("victim waits on peer %d, want 3", info.Peer)
+	}
+	peer := w.Rank(3).BlockInfo()
+	if peer.Kind != mpi.BlockedCollective {
+		t.Fatalf("peer kind = %v, want BlockedCollective (moved on)", peer.Kind)
+	}
+}
+
+func TestCollectiveMismatch(t *testing.T) {
+	in := NewInjector(Plan{Kind: CollectiveMismatch, Rank: 2, Iteration: 3})
+	_, w := runWorkload(t, in, 4, 10)
+	if w.Done() {
+		t.Fatal("mismatched run reported done")
+	}
+	victim := w.Rank(2).BlockInfo()
+	other := w.Rank(0).BlockInfo()
+	if victim.Kind != mpi.BlockedCollective || other.Kind != mpi.BlockedCollective {
+		t.Fatalf("kinds = %v/%v, want both BlockedCollective", victim.Kind, other.Kind)
+	}
+	if victim.Comm != other.Comm {
+		t.Fatalf("comms differ (%d vs %d), want same comm", victim.Comm, other.Comm)
+	}
+	if victim.Seq == other.Seq && victim.Op == other.Op {
+		t.Fatal("victim and healthy rank report the same collective instance; mismatch is invisible")
+	}
+	for _, r := range w.Ranks() {
+		if r.Stack().State() != stack.InMPI {
+			t.Fatalf("rank %d state = %v, want IN_MPI", r.ID(), r.Stack().State())
 		}
 	}
 }

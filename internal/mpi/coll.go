@@ -154,7 +154,7 @@ func (c *Comm) collective(r *Rank, kind CollKind, root, bytes int) {
 		}
 	}
 	suspend := func() {
-		r.block = blockState{kind: BlockedCollective, seq: seq, comm: c}
+		r.block = blockState{kind: BlockedCollective, seq: seq, comm: c, coll: kind}
 		r.proc.Suspend()
 		r.block = blockState{}
 	}
@@ -251,3 +251,39 @@ func (r *Rank) Scatter(root, bytes int) { r.w.worldComm.collective(r, CollScatte
 // which is what makes FT-style transposes occupy every rank IN_MPI for
 // long stretches at large problem sizes.
 func (r *Rank) Alltoall(bytes int) { r.w.worldComm.collective(r, CollAlltoall, 0, bytes) }
+
+// orphanSeqBase is the reserved collective-sequence range for desynced
+// (mismatched) collectives: ordinary per-rank call counters start at 0
+// and can never reach it, so an orphan op is joinable by nobody and the
+// victim blocks forever.
+const orphanSeqBase = uint64(1) << 63
+
+// DesyncCollective blocks the rank forever inside an orphan instance of
+// the given collective on the world communicator — the simulated
+// analogue of a collective mismatch, where one rank calls MPI_Barrier
+// while the rest of the job calls MPI_Allreduce. The orphan op is
+// registered under a reserved sequence number (orphanSeqBase + rank) no
+// ordinary call sequence ever reaches, so no other rank can complete
+// it: the victim parks IN_MPI inside its own collective while everyone
+// else eventually blocks in a *different* collective on the same
+// communicator — exactly the state BlockInfo's Comm/Seq fields and the
+// wait-for classifier's collective-mismatch rule exist to expose. It is
+// an injection primitive for package fault; real workloads never call
+// it. It never returns.
+func (r *Rank) DesyncCollective(kind CollKind) {
+	c := r.w.worldComm
+	r.enterMPI(kind.String()) // never popped: the rank stays IN_MPI forever
+	me := c.RankOf(r)
+	seq := orphanSeqBase + uint64(r.id)
+	op := r.w.getCollOp(kind, 0, 0, c.Size())
+	c.colls[seq] = op
+	op.seen[me] = true
+	op.arrived++
+	if op.waiters == nil {
+		op.waiters = r.w.eng.GetProcSlice(c.Size() - 1)
+	}
+	op.waiters = append(op.waiters, r.proc)
+	r.block = blockState{kind: BlockedCollective, seq: seq, comm: c, coll: kind}
+	r.proc.Suspend()                          // never woken; World.Reset reclaims the op
+	panic("mpi: desynced collective resumed") // unreachable unless a bug wakes it
+}

@@ -13,6 +13,7 @@ import (
 // userspace collectives, but library users get the real thing here.
 type Comm struct {
 	w     *World
+	id    int         // 0 = world comm; derived comms count up in creation order
 	ranks []int       // members as world ranks, in communicator order
 	index map[int]int // world rank → comm rank
 
@@ -46,6 +47,7 @@ func newComm(w *World, members []int) *Comm {
 		// Derived (split) communicators are per-run objects; track them
 		// so World.Reset can reclaim their in-flight collective state
 		// (pooled waiter slices, ops) after hung runs.
+		c.id = len(w.derived) + 1
 		w.derived = append(w.derived, c)
 	}
 	return c
@@ -103,6 +105,12 @@ func (w *World) Split(color, key func(worldRank int) int) []*Comm {
 	}
 	return out
 }
+
+// ID returns the communicator's stable identifier: 0 for the world
+// communicator, and for derived communicators the 1-based creation
+// order — deterministic across World.Reset because workloads recreate
+// their splits in program order.
+func (c *Comm) ID() int { return c.id }
 
 // Size returns the communicator size.
 func (c *Comm) Size() int { return len(c.ranks) }

@@ -41,9 +41,44 @@ func (k BlockKind) String() string {
 	}
 }
 
-// BlockInfo describes a rank's blocking state at an instant.
+// NoPeer and NoComm are the sentinel values BlockInfo uses for its
+// structured fields when they do not apply to the blocking state (a
+// collective has no point-to-point peer; a receive has no communicator
+// sequence). NoPeer is distinct from AnySource: an AnySource receive
+// *has* a peer field, it is just a wildcard.
+const (
+	NoPeer = -2
+	NoComm = -1
+)
+
+// BlockInfo describes a rank's blocking state at an instant. Beyond the
+// human-readable Detail, it exposes the blocked operation's structured
+// identity — which MPI call, which peer and tag for a receive, which
+// communicator and collective sequence number for a collective — so the
+// wait-for analysis of internal/diagnose/waitfor can tell apart states
+// that render identically (two ranks parked in *different* Barriers on
+// the same communicator differ in Seq; the same Barrier on two derived
+// communicators differ in Comm).
 type BlockInfo struct {
 	Kind BlockKind
+	// Op is the MPI call the rank is blocked in ("MPI_Recv",
+	// "MPI_Barrier", …); empty when not blocked inside MPI.
+	Op string
+	// Peer is the source rank of a blocked receive (AnySource for a
+	// wildcard receive); NoPeer when the state has no peer.
+	Peer int
+	// Tag is the blocked receive's tag (AnyTag for a wildcard); 0 and
+	// meaningless when Kind is not BlockedRecv.
+	Tag int
+	// Comm is the communicator ID of the blocking collective (the world
+	// communicator is 0, derived communicators count up in creation
+	// order); NoComm when the state has no communicator.
+	Comm int
+	// Seq is the blocking collective's per-communicator call sequence
+	// number; two ranks blocked in different collectives on the same
+	// communicator always differ here (orphan collectives injected by
+	// DesyncCollective live in a reserved high range).
+	Seq uint64
 	// WaitingFor lists the ranks this rank is directly waiting on:
 	// the (known) source of a blocked receive, or the ranks that have
 	// not yet arrived at the collective it is stuck in. Empty for
@@ -61,22 +96,25 @@ type blockState struct {
 	req  *Request // for BlockedRecv
 	seq  uint64   // for BlockedCollective
 	comm *Comm    // communicator of the blocking collective
+	coll CollKind // kind of the blocking collective (survives op teardown)
 }
 
 // BlockInfo reports what the rank is blocked on right now. It is safe
 // to call from observers (monitors, diagnosis tools) at any time.
 func (r *Rank) BlockInfo() BlockInfo {
 	if r.proc.State() == sim.ProcDone {
-		return BlockInfo{Kind: Terminated}
+		return BlockInfo{Kind: Terminated, Peer: NoPeer, Comm: NoComm}
 	}
 	if r.proc.State() != sim.ProcSuspended {
-		return BlockInfo{Kind: NotBlocked}
+		return BlockInfo{Kind: NotBlocked, Peer: NoPeer, Comm: NoComm}
 	}
 	switch r.block.kind {
 	case BlockedRecv:
 		q := r.block.req
-		info := BlockInfo{Kind: BlockedRecv}
+		info := BlockInfo{Kind: BlockedRecv, Op: "MPI_Recv", Peer: NoPeer, Comm: NoComm}
 		if q != nil {
+			info.Peer = q.src
+			info.Tag = q.tag
 			if q.src != AnySource {
 				info.WaitingFor = []int{q.src}
 			}
@@ -84,11 +122,18 @@ func (r *Rank) BlockInfo() BlockInfo {
 		}
 		return info
 	case BlockedCollective:
-		info := BlockInfo{Kind: BlockedCollective}
+		info := BlockInfo{
+			Kind: BlockedCollective,
+			Op:   r.block.coll.String(),
+			Peer: NoPeer,
+			Comm: NoComm,
+			Seq:  r.block.seq,
+		}
 		c := r.block.comm
 		if c == nil {
 			return info
 		}
+		info.Comm = c.id
 		if op, ok := c.colls[r.block.seq]; ok {
 			for commRank, seen := range op.seen {
 				if !seen {
@@ -102,6 +147,6 @@ func (r *Rank) BlockInfo() BlockInfo {
 	default:
 		// Suspended for another reason (injected hang uses Suspend
 		// directly): not blocked inside MPI.
-		return BlockInfo{Kind: NotBlocked, Detail: "suspended outside MPI"}
+		return BlockInfo{Kind: NotBlocked, Peer: NoPeer, Comm: NoComm, Detail: "suspended outside MPI"}
 	}
 }

@@ -1,0 +1,162 @@
+package mpi
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBlockInfoStructuredRecv checks that a blocked receive exposes its
+// peer and tag as structured fields, not just prose.
+func TestBlockInfoStructuredRecv(t *testing.T) {
+	eng, w := newTestWorld(t, 2)
+	w.Launch(func(r *Rank) {
+		if r.ID() == 0 {
+			r.Recv(1, 7) // never satisfied: rank 1 sends nothing
+		}
+	})
+	eng.RunAll()
+
+	info := w.Rank(0).BlockInfo()
+	if info.Kind != BlockedRecv {
+		t.Fatalf("rank 0 kind = %v, want BlockedRecv", info.Kind)
+	}
+	if info.Op != "MPI_Recv" {
+		t.Fatalf("Op = %q, want MPI_Recv", info.Op)
+	}
+	if info.Peer != 1 || info.Tag != 7 {
+		t.Fatalf("Peer/Tag = %d/%d, want 1/7", info.Peer, info.Tag)
+	}
+	if info.Comm != NoComm {
+		t.Fatalf("Comm = %d, want NoComm for a receive", info.Comm)
+	}
+	if len(info.WaitingFor) != 1 || info.WaitingFor[0] != 1 {
+		t.Fatalf("WaitingFor = %v, want [1]", info.WaitingFor)
+	}
+
+	done := w.Rank(1).BlockInfo()
+	if done.Kind != Terminated || done.Peer != NoPeer || done.Comm != NoComm {
+		t.Fatalf("rank 1 info = %+v, want Terminated with sentinels", done)
+	}
+}
+
+// TestBlockInfoDistinguishesBarriers is the regression test for the
+// BlockInfo gap: two ranks parked in *different* Barrier instances on
+// the *same* communicator used to produce identical structured state
+// (same Kind, same Op) and were only distinguishable by prose. With Seq
+// exposed they must differ.
+func TestBlockInfoDistinguishesBarriers(t *testing.T) {
+	eng, w := newTestWorld(t, 2)
+	w.Launch(func(r *Rank) {
+		switch r.ID() {
+		case 0:
+			r.Barrier() // ordinary barrier, seq 0, blocks forever
+		case 1:
+			r.DesyncCollective(CollBarrier) // orphan barrier, reserved seq
+		}
+	})
+	eng.RunAll()
+	if w.Done() {
+		t.Fatal("world completed; expected a collective mismatch hang")
+	}
+
+	a := w.Rank(0).BlockInfo()
+	b := w.Rank(1).BlockInfo()
+	for i, info := range []BlockInfo{a, b} {
+		if info.Kind != BlockedCollective {
+			t.Fatalf("rank %d kind = %v, want BlockedCollective", i, info.Kind)
+		}
+		if info.Op != "MPI_Barrier" {
+			t.Fatalf("rank %d Op = %q, want MPI_Barrier", i, info.Op)
+		}
+		if info.Comm != 0 {
+			t.Fatalf("rank %d Comm = %d, want world comm 0", i, info.Comm)
+		}
+	}
+	// The load-bearing assertion: same op, same comm, different instance.
+	if a.Seq == b.Seq {
+		t.Fatalf("both barriers report seq %d; different instances must differ", a.Seq)
+	}
+	if b.Seq < orphanSeqBase {
+		t.Fatalf("desynced barrier seq = %d, want >= orphanSeqBase", b.Seq)
+	}
+	// Each side is waiting for the other — the mutual cross-wait the
+	// collective-mismatch classifier keys on.
+	if len(a.WaitingFor) != 1 || a.WaitingFor[0] != 1 {
+		t.Fatalf("rank 0 WaitingFor = %v, want [1]", a.WaitingFor)
+	}
+	if len(b.WaitingFor) != 1 || b.WaitingFor[0] != 0 {
+		t.Fatalf("rank 1 WaitingFor = %v, want [0]", b.WaitingFor)
+	}
+}
+
+// TestBlockInfoCommIDs checks that the same collective on different
+// communicators is distinguishable by Comm, and that derived-comm IDs
+// are deterministic (world = 0, derived count up in creation order).
+func TestBlockInfoCommIDs(t *testing.T) {
+	eng, w := newTestWorld(t, 4)
+	if got := w.worldComm.ID(); got != 0 {
+		t.Fatalf("world comm ID = %d, want 0", got)
+	}
+	var lo, hi *Comm
+	w.Launch(func(r *Rank) {
+		if r.ID() == 0 {
+			lo = w.NewComm([]int{0, 1})
+			hi = w.NewComm([]int{2, 3})
+		}
+		r.Compute(time.Millisecond) // let rank 0 build the comms first
+		switch r.ID() {
+		case 0:
+			lo.Barrier(r) // blocks: rank 1 never joins
+		case 2:
+			hi.Barrier(r) // blocks: rank 3 never joins
+		}
+	})
+	eng.RunAll()
+
+	if lo.ID() != 1 || hi.ID() != 2 {
+		t.Fatalf("derived comm IDs = %d, %d; want 1, 2", lo.ID(), hi.ID())
+	}
+	a := w.Rank(0).BlockInfo()
+	b := w.Rank(2).BlockInfo()
+	if a.Kind != BlockedCollective || b.Kind != BlockedCollective {
+		t.Fatalf("kinds = %v, %v; want BlockedCollective", a.Kind, b.Kind)
+	}
+	if a.Op != b.Op || a.Seq != b.Seq {
+		t.Fatalf("expected identical op and seq across comms, got %+v vs %+v", a, b)
+	}
+	if a.Comm == b.Comm {
+		t.Fatalf("both barriers report comm %d; different communicators must differ", a.Comm)
+	}
+	if a.Comm != 1 || b.Comm != 2 {
+		t.Fatalf("Comm IDs = %d, %d; want 1, 2", a.Comm, b.Comm)
+	}
+}
+
+// TestDesyncCollectiveResetReclaims checks that World.Reset reclaims an
+// orphan collective op left by DesyncCollective, so injection campaigns
+// reusing a world do not leak pooled state.
+func TestDesyncCollectiveResetReclaims(t *testing.T) {
+	eng, w := newTestWorld(t, 2)
+	w.Launch(func(r *Rank) {
+		switch r.ID() {
+		case 0:
+			r.Barrier()
+		case 1:
+			r.DesyncCollective(CollAllreduce)
+		}
+	})
+	eng.RunAll()
+	if len(w.worldComm.colls) == 0 {
+		t.Fatal("expected in-flight collective ops before reset")
+	}
+	w.Reset(Latency{})
+	if len(w.worldComm.colls) != 0 {
+		t.Fatalf("reset left %d in-flight ops", len(w.worldComm.colls))
+	}
+	// The reset world must run a clean job to completion.
+	w.Launch(func(r *Rank) { r.Barrier() })
+	eng.RunAll()
+	if !w.Done() {
+		t.Fatal("world did not complete after reset")
+	}
+}

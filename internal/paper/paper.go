@@ -422,6 +422,8 @@ func GenerateAll(w io.Writer, opt Options) {
 	fmt.Fprintln(w)
 	Table10(w, campaigns, opt)
 	fmt.Fprintln(w)
+	CauseTable(w, opt)
+	fmt.Fprintln(w)
 	FalsePositiveStudy(w, opt)
 	fmt.Fprintln(w)
 	ScaleStudy(w, opt)

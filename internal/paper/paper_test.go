@@ -181,3 +181,33 @@ func TestFigure10Savings(t *testing.T) {
 		t.Fatalf("mean savings %.1f%%, paper reports 35.5%%", m)
 	}
 }
+
+func TestCauseTableAgreement(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	// Small-scale configuration of the same campaign the full table
+	// runs at 256: every benchmark × diagnosable fault kind, scored
+	// against injected ground truth.
+	cells := CauseCampaign("tardis", 64, Options{Runs: 2, Seed: 2})
+	if len(cells) == 0 {
+		t.Fatal("no cells")
+	}
+	checked, correct, unknown := 0, 0, 0
+	for _, c := range cells {
+		m := c.Metrics
+		checked += m.CauseChecked
+		correct += m.CauseCorrect
+		unknown += m.CauseUnknown
+		if wrong := m.CauseChecked - m.CauseCorrect - m.CauseUnknown; wrong != 0 {
+			t.Errorf("%s × %s: %d wrong named cause(s) under clean chaos", c.Bench, c.Kind, wrong)
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no run was diagnosed: table is vacuous")
+	}
+	if acc := float64(correct) / float64(checked); acc < 0.95 {
+		t.Fatalf("overall cause agreement %.2f (%d/%d, %d unknown), want >= 0.95",
+			acc, correct, checked, unknown)
+	}
+}
