@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race fmt-check bench bench-json bench-smoke bench-scale-smoke sweep-smoke fuzz-smoke chaos-smoke diagnose-smoke ci
+.PHONY: all build test vet race fmt-check bench bench-json bench-smoke bench-scale-smoke sweep-smoke fuzz-smoke chaos-smoke diagnose-smoke service-smoke ci
 
 all: build test
 
@@ -30,11 +30,12 @@ bench:
 
 # Regenerate the checked-in performance artifacts: ns/op, allocs/op and
 # events/sec for the engine/monitor/campaign hot paths
-# (BENCH_engine.json) and for the rank-count scaling sweep, 256 → 16384
-# ranks (BENCH_scale.json). See the "Benchmarks" section of README.md
-# for the schema.
+# (BENCH_engine.json), for the rank-count scaling sweep, 256 → 16384
+# ranks (BENCH_scale.json), and for the parastackd daemon pipeline —
+# jobs/sec, p99 ingest latency, stream samples/sec (BENCH_service.json).
+# See the "Benchmarks" section of README.md for the schema.
 bench-json:
-	$(GO) run ./cmd/psbench -bench-json BENCH_engine.json -bench-scale-json BENCH_scale.json
+	$(GO) run ./cmd/psbench -bench-json BENCH_engine.json -bench-scale-json BENCH_scale.json -bench-service-json BENCH_service.json
 
 # One-iteration pass over every benchmark: catches bit-rot in bench
 # code without spending time on measurement.
@@ -81,5 +82,13 @@ chaos-smoke:
 diagnose-smoke:
 	$(GO) test -race -run 'TestCausePropertyGrid$$|TestCauseDegradesUnderChaos$$' -count=1 -v ./internal/diagnose/waitfor
 
+# Daemon smoke: build the real parastackd binary with the race
+# detector, start it on a unix socket, drive three jobs through the
+# wire protocol (an injected hang, a clean run, a silent Scrout
+# stream), assert all three verdicts, and require a graceful zero-exit
+# SIGTERM drain (see cmd/parastackd/main_test.go).
+service-smoke:
+	$(GO) test -race -run 'TestDaemonSmoke$$' -count=1 -v ./cmd/parastackd
+
 # The gate PRs must pass.
-ci: fmt-check vet build race bench-smoke bench-scale-smoke sweep-smoke fuzz-smoke chaos-smoke diagnose-smoke
+ci: fmt-check vet build race bench-smoke bench-scale-smoke sweep-smoke fuzz-smoke chaos-smoke diagnose-smoke service-smoke

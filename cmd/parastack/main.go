@@ -26,7 +26,12 @@ import (
 	"parastack"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+// run is main behind an exit code: os.Exit lives only in main, so the
+// deferred trace-sink Close executes on every exit path and a buffered
+// trace can never be lost to an early exit.
+func run() int {
 	bench := flag.String("bench", "LU", "benchmark: BT CG FT LU MG SP HPL HPCG")
 	class := flag.String("class", "D", "input class (NPB D/E, HPL 8e4/2e5/…, HPCG 64)")
 	procs := flag.Int("procs", 256, "number of MPI ranks")
@@ -43,25 +48,25 @@ func main() {
 	params, err := parastack.LookupWorkload(*bench, *class, *procs)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "parastack:", err)
-		os.Exit(2)
+		return 2
 	}
 
 	kind, err := parastack.ParseFaultKind(*faultKind)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "parastack:", err)
-		os.Exit(2)
+		return 2
 	}
 
 	prof, err := parastack.LookupPlatform(*platform)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "parastack:", err)
-		os.Exit(2)
+		return 2
 	}
 
 	chProf, err := parastack.ParseChaosProfile(*chaosName)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "parastack:", err)
-		os.Exit(2)
+		return 2
 	}
 
 	var trace *parastack.JSONLSink
@@ -69,8 +74,17 @@ func main() {
 		trace, err = parastack.OpenJSONLTrace(*traceFile)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "parastack:", err)
-			os.Exit(2)
+			return 2
 		}
+		// Deferred so the trace is flushed and reported on every exit
+		// path, including the wall-limit failure exit below.
+		defer func() {
+			if err := trace.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "parastack: trace:", err)
+			} else {
+				fmt.Printf("trace written to %s\n", *traceFile)
+			}
+		}()
 	}
 
 	fmt.Printf("running %s on %s with %d ranks (fault: %s, seed %d)\n",
@@ -91,13 +105,6 @@ func main() {
 		rc.Trace = trace
 	}
 	res := parastack.Run(rc)
-	if trace != nil {
-		if err := trace.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, "parastack: trace:", err)
-		} else {
-			fmt.Printf("trace written to %s\n", *traceFile)
-		}
-	}
 
 	fmt.Printf("simulated %v of virtual time in %v (%.1fM events)\n",
 		maxDur(res.FinishedAt, res.InjectedAt+res.Delay).Round(time.Millisecond),
@@ -140,8 +147,9 @@ func main() {
 		}
 	default:
 		fmt.Println("run neither completed nor produced a report (wall limit reached)")
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 func maxDur(a, b time.Duration) time.Duration {

@@ -1,0 +1,149 @@
+// Command parastackd is the multi-tenant hang-detection daemon: a
+// long-running service multiplexing per-job ParaStack monitors over a
+// sharded worker pool. Jobs — (workload, platform, fault, seed)
+// simulations or external Scrout sample feeders — arrive over a
+// framed-JSONL socket; verdicts (detect.Report plus the wait-for
+// root-cause diagnosis) are served back over the same socket and over
+// an optional HTTP query surface.
+//
+// Usage:
+//
+//	parastackd -socket /run/parastackd.sock
+//	parastackd -listen 127.0.0.1:7117 -http 127.0.0.1:7118
+//	parastackd -socket /tmp/psd.sock -workers 8 -max-jobs 4096 -retries 0
+//
+// Submit with any line-oriented client:
+//
+//	{"op":"submit","job":{"id":"j1","bench":"CG","class":"D","procs":64,"platform":"tardis","fault":"computation","seed":3}}
+//	{"op":"wait","id":"j1","timeout_ms":60000}
+//	{"op":"verdicts"}
+//
+// On SIGTERM/SIGINT the daemon drains gracefully: intake is rejected,
+// the ingest batcher flushes, every in-flight run completes, pending
+// stream jobs are closed out, and only then do the listeners shut down
+// — so a client that submitted before the signal can still collect its
+// verdict. -drain-timeout bounds the wait.
+//
+// See the "Running the daemon" section of README.md for the protocol
+// and an end-to-end example.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"syscall"
+	"time"
+
+	"parastack/internal/obs"
+	"parastack/internal/service"
+	"parastack/internal/sweep"
+)
+
+func main() { os.Exit(run()) }
+
+// run is the whole daemon; keeping main a bare os.Exit(run()) means
+// every deferred cleanup (listeners, socket file, drain) executes on
+// every exit path — os.Exit never skips a pending flush.
+func run() int {
+	socket := flag.String("socket", "", "unix socket path for the framed-JSONL surface")
+	listen := flag.String("listen", "", "TCP address for the framed-JSONL surface (e.g. 127.0.0.1:7117)")
+	httpAddr := flag.String("http", "", "optional TCP address for the HTTP query surface (/verdicts, /jobs, /metrics)")
+	workers := flag.Int("workers", 0, "simulation worker pool size (0 = GOMAXPROCS)")
+	shards := flag.Int("shards", 0, "ingest routing shards (0 = min(workers, 4))")
+	maxJobs := flag.Int("max-jobs", 0, "residency quota: max undecided jobs (0 = 1024)")
+	batch := flag.Int("batch", 0, "ingest batch size (0 = 16)")
+	batchDelay := flag.Duration("batch-delay", 0, "ingest batch flush deadline (0 = 2ms)")
+	retries := flag.Int("retries", 1, "retries for a panicking run (0 = none)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-drain bound on SIGTERM")
+	metrics := flag.Bool("metrics", false, "print service counters on exit")
+	flag.Parse()
+
+	if (*socket == "") == (*listen == "") {
+		fmt.Fprintln(os.Stderr, "parastackd: exactly one of -socket or -listen is required")
+		flag.Usage()
+		return 2
+	}
+
+	rec := obs.New(nil)
+	svc := service.New(service.Config{
+		Workers:    *workers,
+		Shards:     *shards,
+		MaxJobs:    *maxJobs,
+		BatchSize:  *batch,
+		BatchDelay: *batchDelay,
+		Retries:    sweep.LiteralRetries(*retries),
+		Recorder:   rec,
+	})
+
+	var ln net.Listener
+	var err error
+	if *socket != "" {
+		os.Remove(*socket) // stale socket from an unclean previous exit
+		ln, err = net.Listen("unix", *socket)
+		if err == nil {
+			defer os.Remove(*socket)
+		}
+	} else {
+		ln, err = net.Listen("tcp", *listen)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "parastackd:", err)
+		return 1
+	}
+	srv := service.Serve(svc, ln)
+	fmt.Printf("parastackd: serving framed JSONL on %s\n", ln.Addr())
+
+	var httpSrv *http.Server
+	if *httpAddr != "" {
+		hln, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "parastackd:", err)
+			srv.Shutdown()
+			svc.Close()
+			return 1
+		}
+		httpSrv = &http.Server{Handler: service.Handler(svc)}
+		go httpSrv.Serve(hln)
+		fmt.Printf("parastackd: serving HTTP queries on %s\n", hln.Addr())
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
+	stop()
+
+	fmt.Println("parastackd: draining...")
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	code := 0
+	if err := svc.Drain(dctx); err != nil {
+		fmt.Fprintln(os.Stderr, "parastackd: drain:", err)
+		code = 1
+	}
+	cancel()
+	// Listeners come down after the drain, so clients submitted before
+	// the signal can still collect their verdicts during it.
+	srv.Shutdown()
+	if httpSrv != nil {
+		httpSrv.Close()
+	}
+	if *metrics {
+		snap := svc.Counters()
+		names := make([]string, 0, len(snap.Counters))
+		for n := range snap.Counters {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		fmt.Println("service counters:")
+		for _, n := range names {
+			fmt.Printf("  %-28s %d\n", n, snap.Counters[n])
+		}
+	}
+	fmt.Println("parastackd: drained, bye")
+	return code
+}

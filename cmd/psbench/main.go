@@ -27,9 +27,12 @@
 // -bench-json FILE runs the fixed engine/monitor/campaign
 // microbenchmark suite and writes the measurements (ns/op, allocs/op,
 // events/sec) to FILE; -bench-scale-json FILE does the same for the
-// rank-count scaling sweep (256 → 16384 ranks). See the "Benchmarks"
-// section of README.md for the schema. `make bench-json` regenerates
-// the checked-in BENCH_engine.json and BENCH_scale.json.
+// rank-count scaling sweep (256 → 16384 ranks); -bench-service-json
+// FILE does the same for the parastackd service suite (jobs/sec, p99
+// ingest latency, stream samples/sec). See the "Benchmarks" section of
+// README.md for the schema. `make bench-json` regenerates the
+// checked-in BENCH_engine.json, BENCH_scale.json, and
+// BENCH_service.json.
 package main
 
 import (
@@ -44,7 +47,13 @@ import (
 	"parastack/internal/paper"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+// run is main behind an exit code: os.Exit lives only in main, so the
+// deferred trace-sink Close runs on every exit path — before this
+// restructure, the "nothing selected" usage exit skipped it and could
+// lose buffered trace events.
+func run() int {
 	table := flag.Int("table", 0, "table number to regenerate (1,3,4,5,6,7,8,9,10)")
 	fp := flag.Bool("fp", false, "run the false-positive study")
 	scale := flag.Bool("scale", false, "run the large-scale study")
@@ -57,22 +66,29 @@ func main() {
 	metrics := flag.Bool("metrics", false, "print counter totals over all runs at the end")
 	benchJSON := flag.String("bench-json", "", "run the microbenchmark suite and write results to this file")
 	benchScaleJSON := flag.String("bench-scale-json", "", "run the rank-count scaling suite and write results to this file")
+	benchServiceJSON := flag.String("bench-service-json", "", "run the daemon throughput suite and write results to this file")
 	flag.Parse()
 
-	if *benchJSON != "" || *benchScaleJSON != "" {
+	if *benchJSON != "" || *benchScaleJSON != "" || *benchServiceJSON != "" {
 		if *benchJSON != "" {
 			if err := runBenchJSON(*benchJSON); err != nil {
 				fmt.Fprintln(os.Stderr, "psbench:", err)
-				os.Exit(1)
+				return 1
 			}
 		}
 		if *benchScaleJSON != "" {
 			if err := runBenchScaleJSON(*benchScaleJSON); err != nil {
 				fmt.Fprintln(os.Stderr, "psbench:", err)
-				os.Exit(1)
+				return 1
 			}
 		}
-		return
+		if *benchServiceJSON != "" {
+			if err := runBenchServiceJSON(*benchServiceJSON); err != nil {
+				fmt.Fprintln(os.Stderr, "psbench:", err)
+				return 1
+			}
+		}
+		return 0
 	}
 
 	opt := paper.Options{Runs: *runs, Seed: *seed, MaxScale: *maxScale}
@@ -80,7 +96,7 @@ func main() {
 		sink, err := obs.OpenJSONL(*traceFile)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "psbench:", err)
-			os.Exit(2)
+			return 2
 		}
 		defer sink.Close()
 		opt.Trace = sink
@@ -109,7 +125,7 @@ func main() {
 	switch {
 	case *table == 0 && !*fp && !*scale && !*cause && !*all:
 		flag.Usage()
-		os.Exit(2)
+		return 2
 	}
 
 	if need(1) {
@@ -167,6 +183,7 @@ func main() {
 		}
 	}
 	fmt.Fprintf(w, "(wall time %v)\n", time.Since(start).Round(time.Millisecond))
+	return 0
 }
 
 // runBenchJSON runs the fixed microbenchmark suite, writes the JSON
@@ -175,6 +192,30 @@ func runBenchJSON(path string) error {
 	start := time.Now()
 	fmt.Printf("running microbenchmark suite (this takes a minute)...\n")
 	rep := bench.RunSuite()
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	bench.WriteSummary(os.Stdout, rep)
+	fmt.Printf("wrote %s (wall time %v)\n", path, time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// runBenchServiceJSON runs the daemon throughput suite, writes the JSON
+// artifact, and echoes a human-readable summary to stdout.
+func runBenchServiceJSON(path string) error {
+	start := time.Now()
+	fmt.Printf("running service throughput suite (bursts of real CG runs through the daemon)...\n")
+	rep := bench.RunServiceSuite()
 	f, err := os.Create(path)
 	if err != nil {
 		return err

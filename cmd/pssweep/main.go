@@ -40,13 +40,19 @@ import (
 	"parastack/internal/sweep"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+// run is main behind an exit code: os.Exit lives only in main, so every
+// deferred cleanup (signal teardown, the paper orchestrator's results
+// log) executes on every exit path — an early error can never skip a
+// pending log flush.
+func run() int {
 	grid := flag.String("grid", "", `grid to run: "smoke", "paper", or a path to a JSON sweep spec`)
 	out := flag.String("out", "", "durable JSONL results-log path (required)")
 	resume := flag.Bool("resume", false, "resume: skip cells the results log already holds")
 	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	ctxTimeout := flag.Duration("ctx-timeout", 0, "overall wall-time bound (0 = none); the sweep stops cleanly and is resumable")
-	retries := flag.Int("retries", 0, "retries for a panicking run (0 = default 1, negative = none)")
+	retries := flag.Int("retries", sweep.DefaultRetries, "retries for a panicking run (0 = none)")
 	haltAfter := flag.Int("halt-after", 0, "stop after N executed runs (crash stand-in for resume testing; 0 = unbounded)")
 	chaosAxis := flag.String("chaos", "", `comma-separated detector-chaos axis overriding the grid's (e.g. "none,heavy")`)
 	runs := flag.Int("runs", 0, "paper mode: runs per configuration (0 = small default)")
@@ -57,7 +63,7 @@ func main() {
 
 	if *grid == "" || *out == "" {
 		flag.Usage()
-		os.Exit(2)
+		return 2
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -70,8 +76,11 @@ func main() {
 
 	rec := obs.New(nil) // metrics-only; the pool serializes access
 	opts := sweep.Options{
-		Workers:  *workers,
-		Retries:  *retries,
+		Workers: *workers,
+		// The flag is literal — "-retries 0" really means zero — and is
+		// mapped here onto the Options encoding, whose zero value must
+		// keep meaning "default" for config-file and zero-struct callers.
+		Retries:  sweep.LiteralRetries(*retries),
 		Out:      *out,
 		Resume:   *resume,
 		MaxRuns:  *haltAfter,
@@ -90,7 +99,7 @@ func main() {
 	if *grid == "paper" {
 		if *chaosAxis != "" {
 			fmt.Fprintln(os.Stderr, "pssweep: -chaos applies to grid sweeps, not -grid paper")
-			os.Exit(2)
+			return 2
 		}
 		err = runPaper(ctx, opts, paper.Options{Runs: *runs, Seed: *seed, MaxScale: *maxScale})
 	} else {
@@ -106,8 +115,9 @@ func main() {
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pssweep:", err)
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 // runGrid executes a declared grid sweep and prints its summary.
@@ -161,6 +171,10 @@ func runPaper(ctx context.Context, opts sweep.Options, popt paper.Options) error
 	if err != nil {
 		return err
 	}
+	// The deferred Close covers panic and early-return paths so the
+	// results log is always flushed; the explicit Close below surfaces
+	// its error on the happy path (Close is idempotent).
+	defer orch.Close()
 	popt.Campaign = orch.Campaign
 	paper.GenerateAll(os.Stdout, popt)
 	if err := orch.Close(); err != nil {

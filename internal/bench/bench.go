@@ -59,6 +59,12 @@ type Result struct {
 	// Ranks is the simulated world size for scaling benchmarks
 	// (BENCH_scale.json); zero for the fixed engine/monitor suite.
 	Ranks int `json:"ranks,omitempty"`
+	// JobsPerSec and P99IngestNs are populated by the parastackd
+	// service suite (BENCH_service.json): whole-job throughput of a
+	// burst of simulation jobs through the daemon pipeline, and the
+	// 99th-percentile admission→dispatch latency of those jobs.
+	JobsPerSec  float64 `json:"jobs_per_sec,omitempty"`
+	P99IngestNs float64 `json:"p99_ingest_ns,omitempty"`
 }
 
 // Report is the full artifact written to BENCH_engine.json.
@@ -140,6 +146,10 @@ func WriteSummary(w io.Writer, rep Report) {
 		}
 		fmt.Fprintf(w, "%-34s %14.1f %10d %12d %14s\n",
 			r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp, ev)
+		if r.JobsPerSec > 0 {
+			fmt.Fprintf(w, "%-34s   jobs/sec=%.1f p99_ingest=%v\n",
+				"", r.JobsPerSec, time.Duration(r.P99IngestNs).Round(time.Microsecond))
+		}
 	}
 }
 

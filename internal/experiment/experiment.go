@@ -8,6 +8,7 @@
 package experiment
 
 import (
+	"math"
 	"runtime"
 	"sync"
 	"time"
@@ -551,7 +552,14 @@ func Aggregate(rs []RunResult) Metrics {
 		if r.Detected && len(r.PlannedFail) > 0 && r.Report != nil &&
 			!r.FaultKind.CommPhase() {
 			m.FaultyChecked++
-			precSum += r.Precision
+			// Run only ever writes a finite Precision (the hit/identified
+			// division is guarded against an empty identified set), but
+			// results can also arrive from logs or third-party
+			// constructors — one NaN here would poison the whole
+			// campaign's PRf, so treat it as "identified nothing".
+			if !math.IsNaN(r.Precision) {
+				precSum += r.Precision
+			}
 			if r.FaultyFound {
 				faultyFound++
 			}

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"math"
 	"testing"
 	"time"
 
@@ -310,5 +311,56 @@ func TestDetectorInterfaceSatisfied(t *testing.T) {
 		if d.Report() != nil {
 			t.Fatalf("%s reports a hang before starting", d.Name())
 		}
+	}
+}
+
+// TestPrecisionGuardedAgainstEmptyIdentifiedSet pins Run's guard on the
+// precision division: a detected computation-phase fault whose report
+// identifies no faulty ranks must yield Precision 0, never NaN — an
+// unguarded hit/len division would return NaN and poison every
+// aggregate it touches.
+func TestPrecisionGuardedAgainstEmptyIdentifiedSet(t *testing.T) {
+	// A communication-type report carries no FaultyRanks even when the
+	// injected fault was computation-phase (e.g. the victim was caught
+	// IN_MPI at scan time), which is exactly the empty-set edge.
+	res := RunResult{
+		FaultKind:   fault.ComputationHang,
+		Detected:    true,
+		PlannedFail: []int{3},
+		Report:      &core.Report{Type: core.HangCommunication},
+	}
+	if math.IsNaN(res.Precision) || res.Precision != 0 {
+		t.Fatalf("zero-value Precision = %v, want 0", res.Precision)
+	}
+	m := Aggregate([]RunResult{res})
+	if math.IsNaN(m.PRf) {
+		t.Fatal("PRf is NaN for an empty identified set")
+	}
+	if m.FaultyChecked != 1 || m.PRf != 0 {
+		t.Fatalf("FaultyChecked = %d, PRf = %v, want 1, 0", m.FaultyChecked, m.PRf)
+	}
+}
+
+// TestAggregateRejectsNaNPrecision pins Aggregate's own defense: a NaN
+// Precision arriving from outside Run (an old log, a third-party
+// constructor) must not poison PRf — one NaN summed into precSum would
+// make the whole campaign's PRf NaN.
+func TestAggregateRejectsNaNPrecision(t *testing.T) {
+	good := RunResult{
+		FaultKind:   fault.ComputationHang,
+		Detected:    true,
+		PlannedFail: []int{1},
+		Report:      &core.Report{FaultyRanks: []int{1}},
+		FaultyFound: true,
+		Precision:   1,
+	}
+	poison := good
+	poison.Precision = math.NaN()
+	m := Aggregate([]RunResult{good, poison})
+	if math.IsNaN(m.PRf) {
+		t.Fatal("one NaN Precision poisoned PRf")
+	}
+	if m.FaultyChecked != 2 || m.PRf != 0.5 {
+		t.Fatalf("FaultyChecked = %d, PRf = %v, want 2, 0.5 (NaN counts as identified-nothing)", m.FaultyChecked, m.PRf)
 	}
 }

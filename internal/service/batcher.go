@@ -1,0 +1,109 @@
+package service
+
+import (
+	"sync"
+	"time"
+)
+
+// batcher coalesces ingest envelopes into batches flushed by size or
+// deadline, whichever comes first — the channel-based batcher pattern
+// (an accumulating goroutine selecting between the input channel and a
+// deadline timer; the timer is armed when a batch opens and drained
+// when a size flush wins). Batching decouples the admission path from
+// the routing path: Submit/Feed return as soon as the envelope is
+// accepted into the bounded input channel, and the per-shard routing
+// work is paid once per batch rather than once per envelope.
+//
+// The input channel's bound is the service's first backpressure stage:
+// when routing stalls (full shard queues, busy workers), the channel
+// fills and admission starts rejecting rather than buffering without
+// limit.
+type batcher struct {
+	in    chan envelope
+	size  int
+	delay time.Duration
+	flush func([]envelope)
+
+	wg sync.WaitGroup
+}
+
+// envelope is one admitted ingest item: a job admission (samples nil)
+// or a stream-sample payload for an already-admitted job.
+type envelope struct {
+	j       *job
+	samples []StreamSample
+	enq     time.Time
+}
+
+// newBatcher starts the accumulator goroutine. flush is called from
+// that single goroutine, with batches in admission order.
+func newBatcher(depth, size int, delay time.Duration, flush func([]envelope)) *batcher {
+	b := &batcher{
+		in:    make(chan envelope, depth),
+		size:  size,
+		delay: delay,
+		flush: flush,
+	}
+	b.wg.Add(1)
+	go b.loop()
+	return b
+}
+
+// offer attempts to admit one envelope without blocking; false means
+// the ingest stage is saturated (backpressure).
+func (b *batcher) offer(e envelope) bool {
+	select {
+	case b.in <- e:
+		return true
+	default:
+		return false
+	}
+}
+
+// close stops intake and flushes whatever is pending. The caller must
+// guarantee no offer calls race or follow close.
+func (b *batcher) close() {
+	close(b.in)
+	b.wg.Wait()
+}
+
+func (b *batcher) loop() {
+	defer b.wg.Done()
+	timer := time.NewTimer(0)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	var batch []envelope
+	emit := func() {
+		if len(batch) == 0 {
+			return
+		}
+		b.flush(batch)
+		batch = nil
+	}
+	for {
+		select {
+		case e, ok := <-b.in:
+			if !ok {
+				emit()
+				return
+			}
+			if len(batch) == 0 {
+				// A batch just opened: arm its flush deadline.
+				if !timer.Stop() {
+					select {
+					case <-timer.C:
+					default:
+					}
+				}
+				timer.Reset(b.delay)
+			}
+			batch = append(batch, e)
+			if len(batch) >= b.size {
+				emit()
+			}
+		case <-timer.C:
+			emit()
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package service
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"parastack/internal/detect"
+)
+
+// collectFlush gathers flushed batches for assertions.
+type collectFlush struct {
+	mu      sync.Mutex
+	batches [][]envelope
+	notify  chan int // batch size per flush
+}
+
+func newCollectFlush() *collectFlush {
+	return &collectFlush{notify: make(chan int, 64)}
+}
+
+func (c *collectFlush) flush(batch []envelope) {
+	c.mu.Lock()
+	c.batches = append(c.batches, batch)
+	c.mu.Unlock()
+	c.notify <- len(batch)
+}
+
+func TestBatcherSizeFlush(t *testing.T) {
+	c := newCollectFlush()
+	b := newBatcher(64, 3, time.Hour, c.flush) // deadline can't win
+	defer b.close()
+	for i := 0; i < 3; i++ {
+		if !b.offer(envelope{}) {
+			t.Fatalf("offer %d rejected", i)
+		}
+	}
+	select {
+	case n := <-c.notify:
+		if n != 3 {
+			t.Fatalf("size flush carried %d envelopes, want 3", n)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("size flush never happened")
+	}
+}
+
+func TestBatcherDeadlineFlush(t *testing.T) {
+	c := newCollectFlush()
+	b := newBatcher(64, 1000, 5*time.Millisecond, c.flush) // size can't win
+	defer b.close()
+	b.offer(envelope{})
+	b.offer(envelope{})
+	select {
+	case n := <-c.notify:
+		if n != 2 {
+			t.Fatalf("deadline flush carried %d envelopes, want 2", n)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("deadline flush never happened")
+	}
+}
+
+func TestBatcherCloseFlushesRemainder(t *testing.T) {
+	c := newCollectFlush()
+	b := newBatcher(64, 1000, time.Hour, c.flush)
+	b.offer(envelope{})
+	b.offer(envelope{})
+	b.close()
+	select {
+	case n := <-c.notify:
+		if n != 2 {
+			t.Fatalf("close flush carried %d envelopes, want 2", n)
+		}
+	default:
+		t.Fatal("close did not flush the open batch")
+	}
+}
+
+func TestBatcherOfferRejectsWhenFull(t *testing.T) {
+	// A flush that blocks forever pins the loop, so the input channel
+	// (depth 2) fills and offers start failing — the backpressure edge.
+	block := make(chan struct{})
+	defer close(block)
+	b := newBatcher(2, 1, time.Hour, func([]envelope) { <-block })
+	accepted := 0
+	for i := 0; i < 10; i++ {
+		if b.offer(envelope{}) {
+			accepted++
+		}
+	}
+	if accepted > 4 { // 2 buffered + up to 2 already drawn into the loop
+		t.Fatalf("accepted %d offers into a stalled depth-2 batcher", accepted)
+	}
+	if b.offer(envelope{}) {
+		t.Fatal("offer succeeded on a saturated batcher")
+	}
+}
+
+func TestStreamMonitorFiresOnStreak(t *testing.T) {
+	sm := NewStreamMonitor(0, 0)
+	// Healthy phase: varied Scrout keeps the streak broken.
+	for i := 0; i < 200; i++ {
+		if rep := sm.Ingest(StreamSample{TUS: int64(i), Scrout: float64(1+i%5) / 6}); rep != nil {
+			t.Fatalf("verdict during healthy phase at sample %d", i)
+		}
+	}
+	// Hang phase: zeros below the threshold must eventually verify.
+	var fired *int
+	for i := 0; i < 200; i++ {
+		if rep := sm.Ingest(StreamSample{TUS: int64(1000 + i), Scrout: 0}); rep != nil {
+			fired = &i
+			if rep.Type != detect.HangCommunication {
+				t.Errorf("stream report type = %v, want communication", rep.Type)
+			}
+			if rep.Suspicions < 2 {
+				t.Errorf("suspicion streak = %d, want a multi-sample streak", rep.Suspicions)
+			}
+			break
+		}
+	}
+	if fired == nil {
+		t.Fatal("200 zero samples never produced a verdict")
+	}
+	if sm.Report() == nil {
+		t.Fatal("Report() nil after a verdict")
+	}
+	// Post-verdict samples are counted but don't change the report.
+	before := sm.Report()
+	sm.Ingest(StreamSample{TUS: 9999, Scrout: 1})
+	if sm.Report() != before {
+		t.Error("post-verdict sample replaced the report")
+	}
+	if sm.Samples() != 200+*fired+1+1 {
+		t.Errorf("Samples() = %d, want %d", sm.Samples(), 200+*fired+2)
+	}
+}

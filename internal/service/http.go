@@ -1,0 +1,94 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+)
+
+// Handler returns the daemon's HTTP surface — the query-side twin of
+// the framed-JSONL socket, for humans and dashboards:
+//
+//	GET  /verdicts        every decided verdict (JSON array)
+//	GET  /verdicts?id=j1  one verdict (404 unknown, 202 pending)
+//	POST /jobs            submit a JobSpec (JSON body)
+//	GET  /healthz         liveness
+//	GET  /metrics         service counters, one "name value" per line
+//
+// Stream feeding stays on the socket: sample streams are long-lived
+// and ordered, which a request-per-batch HTTP surface handles poorly.
+func Handler(svc *Service) http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("/verdicts", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "GET only", http.StatusMethodNotAllowed)
+			return
+		}
+		if id := r.URL.Query().Get("id"); id != "" {
+			v, ok, err := svc.Verdict(id)
+			switch {
+			case err != nil:
+				http.Error(w, err.Error(), http.StatusNotFound)
+			case !ok:
+				w.WriteHeader(http.StatusAccepted)
+				fmt.Fprintln(w, `{"pending":true}`)
+			default:
+				writeJSON(w, v)
+			}
+			return
+		}
+		writeJSON(w, svc.Verdicts())
+	})
+
+	mux.HandleFunc("/jobs", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		var js JobSpec
+		if err := json.NewDecoder(r.Body).Decode(&js); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if err := svc.Submit(js); err != nil {
+			status := http.StatusBadRequest
+			switch err {
+			case ErrQuota, ErrBusy, ErrDraining:
+				status = http.StatusServiceUnavailable
+			case ErrDuplicate:
+				status = http.StatusConflict
+			}
+			http.Error(w, err.Error(), status)
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+		fmt.Fprintf(w, "{\"accepted\":%q}\n", js.ID)
+	})
+
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		snap := svc.Counters()
+		names := make([]string, 0, len(snap.Counters))
+		for n := range snap.Counters {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Fprintf(w, "%s %d\n", n, snap.Counters[n])
+		}
+	})
+
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

@@ -1,0 +1,533 @@
+// Package service turns the ParaStack library into a long-running,
+// multi-tenant hang-detection daemon: many logical jobs — each a
+// (workload, platform, fault, seed) simulation or an external Scrout
+// feeder — multiplexed over one sharded worker pool.
+//
+// The pipeline is:
+//
+//	Submit/Feed ──► admission (validate, quota) ──► batcher
+//	    (size+deadline flush) ──► router ──► per-shard bounded
+//	    queues ──► shard loops ──► sweep.Pool workers
+//	    (per-worker experiment.Runner) / StreamMonitor feeds ──►
+//	    verdict store ──► Verdict / Verdicts queries
+//
+// Every stage is bounded, and saturation propagates backwards: busy
+// workers stall the shard loops, full shard queues stall the router,
+// a full batcher input rejects admission (ErrBusy). Jobs beyond the
+// residency quota are rejected up front (ErrQuota), and each stream
+// job's unprocessed samples are capped (ErrBacklog). A job's identity
+// is sharded by FNV hash, so one job's envelopes are always processed
+// in order by a single shard.
+//
+// Determinism carries through from the library: a simulation job's
+// verdict is bit-identical to the same configuration run through
+// experiment.Run in-process, because admission materializes the same
+// RunConfig a grid sweep would and the pool's per-worker Runners are
+// pinned bit-identical to fresh runs.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"parastack/internal/experiment"
+	"parastack/internal/obs"
+	"parastack/internal/sweep"
+)
+
+// Counter names the service reports through its recorder.
+const (
+	CtrJobsAdmitted   = "service.jobs_admitted"    // jobs past admission
+	CtrJobsRejected   = "service.jobs_rejected"    // submissions refused (quota, busy, invalid, duplicate)
+	CtrJobsCompleted  = "service.jobs_completed"   // verdicts reached (ok)
+	CtrJobsFailed     = "service.jobs_failed"      // verdicts reached (run panicked)
+	CtrBatchesFlushed = "service.batches_flushed"  // ingest batches flushed (size or deadline)
+	CtrSamplesIn      = "service.samples_ingested" // stream samples accepted
+	CtrSamplesDropped = "service.samples_rejected" // stream samples refused (backlog, busy)
+	CtrVerdictsServed = "service.verdicts_served"  // verdict query responses
+)
+
+// Admission errors. The server maps these onto wire error strings;
+// clients distinguish "retry later" (ErrBusy, ErrBacklog) from "fix
+// your request" (validation, ErrQuota while full, duplicates).
+var (
+	// ErrQuota rejects a submission that would exceed Config.MaxJobs
+	// resident jobs.
+	ErrQuota = errors.New("service: job quota exhausted")
+	// ErrBusy rejects an envelope because the ingest stage is
+	// saturated — the backpressure signal of a slow consumer.
+	ErrBusy = errors.New("service: ingest saturated, retry later")
+	// ErrBacklog rejects stream samples because the job's bounded
+	// sample queue is full.
+	ErrBacklog = errors.New("service: stream backlog full, retry later")
+	// ErrDraining rejects intake on a service that is shutting down.
+	ErrDraining = errors.New("service: draining")
+	// ErrUnknownJob rejects samples or queries for a job never admitted.
+	ErrUnknownJob = errors.New("service: unknown job")
+	// ErrDuplicate rejects a submission reusing a resident job ID.
+	ErrDuplicate = errors.New("service: duplicate job id")
+	// ErrNotStream rejects samples fed to a simulation job.
+	ErrNotStream = errors.New("service: job is not a stream job")
+)
+
+// Config tunes a Service. The zero value selects serviceable defaults.
+type Config struct {
+	// Workers bounds the simulation worker pool (0 = GOMAXPROCS).
+	Workers int
+	// Shards is the number of routing shards, each with its own bounded
+	// queue and loop (0 = min(Workers, 4)).
+	Shards int
+	// MaxJobs is the residency quota: jobs admitted but not yet
+	// decided (0 = 1024).
+	MaxJobs int
+	// IngestDepth bounds the batcher's input channel (0 = 256).
+	IngestDepth int
+	// ShardDepth bounds each shard's queue (0 = 64).
+	ShardDepth int
+	// StreamBacklog caps one stream job's unprocessed samples (0 = 4096).
+	StreamBacklog int
+	// BatchSize flushes an ingest batch at this many envelopes (0 = 16).
+	BatchSize int
+	// BatchDelay flushes a partial batch after this long (0 = 2ms).
+	BatchDelay time.Duration
+	// Retries is re-execution of panicking runs, in the sweep.Options
+	// encoding (0 = default 1, negative = none; see
+	// sweep.LiteralRetries).
+	Retries int
+	// Recorder receives the service counters (nil = a private
+	// metrics-only recorder). Access is serialized by the service.
+	Recorder obs.Recorder
+	// Run overrides the run executor (tests inject fakes; nil = each
+	// pool worker owns an experiment.Runner).
+	Run func(experiment.RunConfig) experiment.RunResult
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Shards <= 0 {
+		c.Shards = c.Workers
+		if c.Shards > 4 {
+			c.Shards = 4
+		}
+	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 1024
+	}
+	if c.IngestDepth <= 0 {
+		c.IngestDepth = 256
+	}
+	if c.ShardDepth <= 0 {
+		c.ShardDepth = 64
+	}
+	if c.StreamBacklog <= 0 {
+		c.StreamBacklog = 4096
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 16
+	}
+	if c.BatchDelay <= 0 {
+		c.BatchDelay = 2 * time.Millisecond
+	}
+	if c.Recorder == nil {
+		c.Recorder = obs.New(nil)
+	}
+	return c
+}
+
+// job is one resident job's state.
+type job struct {
+	spec JobSpec
+	key  string
+	rc   experiment.RunConfig
+
+	mon     *StreamMonitor // stream jobs only
+	pending int            // unprocessed stream samples (guarded by Service.mu)
+
+	enq        time.Time
+	dispatched time.Time
+
+	done    chan struct{} // closed when the verdict lands
+	verdict Verdict
+}
+
+// Service is the multi-tenant detection engine. Construct with New,
+// feed with Submit/Feed, query with Verdict/Verdicts, and shut down
+// with Drain (graceful) or Close.
+type Service struct {
+	cfg     Config
+	pool    *sweep.Pool
+	batcher *batcher
+	shards  []chan envelope
+	shardWG sync.WaitGroup
+
+	mu       sync.Mutex
+	jobs     map[string]*job // resident (undecided) jobs
+	decided  map[string]*job // jobs with a verdict
+	order    []string        // admission order of decided jobs
+	resident int
+	draining bool
+
+	recMu sync.Mutex
+	rec   obs.Recorder
+}
+
+// New starts a service: the worker pool, the shard loops, and the
+// ingest batcher.
+func New(cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	s := &Service{
+		cfg:     cfg,
+		jobs:    make(map[string]*job),
+		decided: make(map[string]*job),
+		rec:     cfg.Recorder,
+	}
+	s.pool = sweep.NewPool(sweep.Options{
+		Workers:  cfg.Workers,
+		Retries:  cfg.Retries,
+		Recorder: obs.New(nil), // pool counters are internal; service counters are the surface
+		Run:      cfg.Run,
+	})
+	s.shards = make([]chan envelope, cfg.Shards)
+	for i := range s.shards {
+		s.shards[i] = make(chan envelope, cfg.ShardDepth)
+		s.shardWG.Add(1)
+		go s.shardLoop(s.shards[i])
+	}
+	s.batcher = newBatcher(cfg.IngestDepth, cfg.BatchSize, cfg.BatchDelay, s.route)
+	return s
+}
+
+// count serializes recorder access (obs.Basic is single-goroutine).
+func (s *Service) count(name string, delta int64) {
+	s.recMu.Lock()
+	s.rec.Count(name, delta)
+	s.recMu.Unlock()
+}
+
+// Counters snapshots the service's observability counters.
+func (s *Service) Counters() obs.Snapshot {
+	s.recMu.Lock()
+	defer s.recMu.Unlock()
+	return s.rec.Snapshot()
+}
+
+// Submit validates and admits one job. On return the job is resident:
+// it WILL receive a verdict (success, failure, or — for stream jobs —
+// a drain-time close-out). Errors mean the job was not admitted.
+func (s *Service) Submit(js JobSpec) error {
+	if js.ID == "" {
+		s.count(CtrJobsRejected, 1)
+		return fmt.Errorf("service: job needs an id")
+	}
+	j := &job{spec: js, enq: time.Now(), done: make(chan struct{})}
+	if js.Stream {
+		j.mon = NewStreamMonitor(js.Alpha, 0)
+	} else {
+		key, rc, err := js.cell()
+		if err != nil {
+			s.count(CtrJobsRejected, 1)
+			return err
+		}
+		j.key, j.rc = key, rc
+	}
+
+	// Admission is atomic under mu — including the batcher offer — so
+	// Drain (which flips draining under the same mu before closing the
+	// batcher) can never close the ingest channel between an admission
+	// check and its offer.
+	s.mu.Lock()
+	switch {
+	case s.draining:
+		s.mu.Unlock()
+		s.count(CtrJobsRejected, 1)
+		return ErrDraining
+	case s.jobs[js.ID] != nil || s.decided[js.ID] != nil:
+		s.mu.Unlock()
+		s.count(CtrJobsRejected, 1)
+		return ErrDuplicate
+	case s.resident >= s.cfg.MaxJobs:
+		s.mu.Unlock()
+		s.count(CtrJobsRejected, 1)
+		return ErrQuota
+	}
+	if !s.batcher.offer(envelope{j: j, enq: j.enq}) {
+		s.mu.Unlock()
+		s.count(CtrJobsRejected, 1)
+		return ErrBusy
+	}
+	s.jobs[js.ID] = j
+	s.resident++
+	s.mu.Unlock()
+	s.count(CtrJobsAdmitted, 1)
+	return nil
+}
+
+// Feed ingests Scrout samples for a resident stream job. Samples are
+// processed asynchronously, in order, by the job's shard; the per-job
+// backlog is bounded by Config.StreamBacklog.
+func (s *Service) Feed(jobID string, samples []StreamSample) error {
+	if len(samples) == 0 {
+		return nil
+	}
+	s.mu.Lock()
+	j := s.jobs[jobID]
+	if j == nil {
+		decidedJob := s.decided[jobID]
+		s.mu.Unlock()
+		s.count(CtrSamplesDropped, int64(len(samples)))
+		if decidedJob != nil {
+			return fmt.Errorf("service: job %q already decided", jobID)
+		}
+		return ErrUnknownJob
+	}
+	if j.mon == nil {
+		s.mu.Unlock()
+		s.count(CtrSamplesDropped, int64(len(samples)))
+		return ErrNotStream
+	}
+	if s.draining {
+		s.mu.Unlock()
+		s.count(CtrSamplesDropped, int64(len(samples)))
+		return ErrDraining
+	}
+	if j.pending+len(samples) > s.cfg.StreamBacklog {
+		s.mu.Unlock()
+		s.count(CtrSamplesDropped, int64(len(samples)))
+		return ErrBacklog
+	}
+	if !s.batcher.offer(envelope{j: j, samples: samples, enq: time.Now()}) {
+		s.mu.Unlock()
+		s.count(CtrSamplesDropped, int64(len(samples)))
+		return ErrBusy
+	}
+	j.pending += len(samples)
+	s.mu.Unlock()
+	s.count(CtrSamplesIn, int64(len(samples)))
+	return nil
+}
+
+// route is the batcher's flush: fan one batch out to the shard queues.
+// It runs on the single batcher goroutine and may block on a full
+// shard queue — that stall backs up into the batcher input, which is
+// what turns a slow consumer into admission-time ErrBusy.
+func (s *Service) route(batch []envelope) {
+	s.count(CtrBatchesFlushed, 1)
+	for _, e := range batch {
+		s.shards[shardOf(e.j.spec.ID, len(s.shards))] <- e
+	}
+}
+
+// shardOf maps a job ID onto its shard by FNV-1a hash.
+func shardOf(id string, shards int) int {
+	h := fnv.New32a()
+	h.Write([]byte(id))
+	return int(h.Sum32()) % shards
+}
+
+// shardLoop drains one shard queue: dispatching simulation jobs to the
+// worker pool (blocking while all workers are busy — the pool's
+// backpressure) and feeding stream samples to their monitors.
+func (s *Service) shardLoop(q chan envelope) {
+	defer s.shardWG.Done()
+	for e := range q {
+		j := e.j
+		if e.samples != nil {
+			s.feedShard(j, e.samples)
+			continue
+		}
+		j.dispatched = time.Now()
+		if j.mon != nil {
+			// Stream job: attached, now fed by later envelopes.
+			continue
+		}
+		s.pool.Submit(sweep.Task{Key: j.key, Config: j.rc}, func(rec sweep.Record) {
+			v := Verdict{JobID: j.spec.ID, Key: j.key, Status: VerdictFailed, Error: rec.Error}
+			if rec.Status == sweep.StatusOK && rec.Result != nil {
+				v = verdictFromResult(j.spec.ID, j.key, rec.Result)
+			}
+			s.decide(j, v)
+		})
+	}
+}
+
+// feedShard runs one sample batch through a stream job's monitor and
+// decides the job if the significance test fires.
+func (s *Service) feedShard(j *job, samples []StreamSample) {
+	var fired bool
+	for _, smp := range samples {
+		if j.mon.Ingest(smp) != nil {
+			fired = true
+		}
+	}
+	s.mu.Lock()
+	j.pending -= len(samples)
+	s.mu.Unlock()
+	if fired && !j.isDecided() {
+		s.decide(j, Verdict{
+			JobID:   j.spec.ID,
+			Status:  VerdictOK,
+			Report:  j.mon.Report(),
+			Samples: j.mon.Samples(),
+		})
+	}
+}
+
+// isDecided reports whether the job's verdict has landed.
+func (j *job) isDecided() bool {
+	select {
+	case <-j.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// decide records a job's verdict, moves it out of residency, and wakes
+// waiters.
+func (s *Service) decide(j *job, v Verdict) {
+	if !j.dispatched.IsZero() {
+		v.IngestUS = j.dispatched.Sub(j.enq).Microseconds()
+	}
+	s.mu.Lock()
+	if j.isDecided() {
+		s.mu.Unlock()
+		return
+	}
+	j.verdict = v
+	delete(s.jobs, j.spec.ID)
+	s.decided[j.spec.ID] = j
+	s.order = append(s.order, j.spec.ID)
+	s.resident--
+	close(j.done)
+	s.mu.Unlock()
+	if v.Status == VerdictFailed {
+		s.count(CtrJobsFailed, 1)
+	} else {
+		s.count(CtrJobsCompleted, 1)
+	}
+}
+
+// Verdict returns the job's verdict. ok is false while the job is
+// still in flight; err is ErrUnknownJob for an ID never admitted.
+func (s *Service) Verdict(jobID string) (Verdict, bool, error) {
+	s.mu.Lock()
+	j, decided := s.decided[jobID]
+	_, resident := s.jobs[jobID]
+	s.mu.Unlock()
+	if decided {
+		s.count(CtrVerdictsServed, 1)
+		return j.verdict, true, nil
+	}
+	if resident {
+		return Verdict{}, false, nil
+	}
+	return Verdict{}, false, ErrUnknownJob
+}
+
+// Wait blocks until the job's verdict lands or the context ends.
+func (s *Service) Wait(ctx context.Context, jobID string) (Verdict, error) {
+	s.mu.Lock()
+	j := s.decided[jobID]
+	if j == nil {
+		j = s.jobs[jobID]
+	}
+	s.mu.Unlock()
+	if j == nil {
+		return Verdict{}, ErrUnknownJob
+	}
+	select {
+	case <-j.done:
+		s.count(CtrVerdictsServed, 1)
+		return j.verdict, nil
+	case <-ctx.Done():
+		return Verdict{}, ctx.Err()
+	}
+}
+
+// Verdicts returns every decided job's verdict in decision order.
+func (s *Service) Verdicts() []Verdict {
+	s.mu.Lock()
+	out := make([]Verdict, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.decided[id].verdict)
+	}
+	s.mu.Unlock()
+	s.count(CtrVerdictsServed, int64(len(out)))
+	return out
+}
+
+// Pending returns the IDs of resident (undecided) jobs, sorted.
+func (s *Service) Pending() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.jobs))
+	for id := range s.jobs {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Drain performs a graceful shutdown: stop admitting, flush the
+// batcher, drain every shard queue, wait for every in-flight run, and
+// close out still-undecided stream jobs with a no-hang verdict — so
+// after Drain returns, every job ever admitted has a queryable verdict.
+// The context bounds the wait; on expiry the pipeline keeps draining in
+// the background but Drain returns ctx.Err().
+func (s *Service) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil
+	}
+	s.draining = true
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		s.batcher.close()
+		for _, q := range s.shards {
+			close(q)
+		}
+		s.shardWG.Wait()
+		s.pool.Close()
+		// Close out stream jobs that never fired: their feeders are
+		// gone; "no hang observed over N samples" is the final answer.
+		s.mu.Lock()
+		var leftover []*job
+		for _, j := range s.jobs {
+			if j.mon != nil {
+				leftover = append(leftover, j)
+			}
+		}
+		s.mu.Unlock()
+		sort.Slice(leftover, func(a, b int) bool { return leftover[a].spec.ID < leftover[b].spec.ID })
+		for _, j := range leftover {
+			s.decide(j, Verdict{
+				JobID:     j.spec.ID,
+				Status:    VerdictOK,
+				Completed: true,
+				Report:    j.mon.Report(),
+				Samples:   j.mon.Samples(),
+			})
+		}
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Close is Drain with no deadline.
+func (s *Service) Close() error { return s.Drain(context.Background()) }

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -11,6 +12,14 @@ import (
 
 	"parastack/internal/experiment"
 )
+
+// ErrClosed is returned by Write on a Log that has been Closed. It is a
+// sentinel so callers racing a shutdown can distinguish "the log is
+// gone, drop the record or re-route it" from a real I/O failure —
+// before the closed flag existed, a late Write hit the closed *os.File
+// and surfaced a confusing "file already closed" error after up to
+// syncEvery-1 records had already been silently flushed away.
+var ErrClosed = errors.New("sweep: results log is closed")
 
 // SchemaVersion tags every results-log record; Load rejects logs
 // written by an incompatible schema. The record format is one JSON
@@ -61,6 +70,7 @@ type Log struct {
 	bw        *bufio.Writer
 	sinceSync int
 	every     int
+	closed    bool
 }
 
 // defaultSyncEvery is the fsync batch size when Options leave it zero.
@@ -94,7 +104,8 @@ func AppendLog(path string, syncEvery int) (*Log, error) {
 	return openLog(path, false, syncEvery)
 }
 
-// Write appends one record and fsyncs if the batch is due.
+// Write appends one record and fsyncs if the batch is due. Writing to
+// a closed log returns ErrClosed without touching the file.
 func (l *Log) Write(rec Record) error {
 	data, err := json.Marshal(rec)
 	if err != nil {
@@ -102,6 +113,9 @@ func (l *Log) Write(rec Record) error {
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
 	if _, err := l.bw.Write(data); err != nil {
 		return err
 	}
@@ -119,10 +133,16 @@ func (l *Log) Write(rec Record) error {
 	return nil
 }
 
-// Close flushes, fsyncs, and closes the log file.
+// Close flushes, fsyncs, and closes the log file. A second Close is a
+// no-op returning nil, so every exit path of a CLI can close the log
+// unconditionally without tracking which path got there first.
 func (l *Log) Close() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
 	flushErr := l.bw.Flush()
 	syncErr := l.f.Sync()
 	closeErr := l.f.Close()

@@ -45,6 +45,10 @@ type Options struct {
 	Workers int
 	// Retries is how many times a panicking run is re-executed before
 	// being recorded as failed (0 = default 1; negative = no retries).
+	// The zero-value-selects-default encoding means a literal "zero
+	// retries" cannot be spelled as 0 here; callers holding a literal
+	// count (CLI flags) convert it with LiteralRetries, which maps 0 to
+	// NoRetries.
 	Retries int
 	// Out is the durable results-log path ("" = in-memory only).
 	Out string
@@ -73,12 +77,30 @@ type Options struct {
 	Run func(experiment.RunConfig) experiment.RunResult
 }
 
+// NoRetries is the Options.Retries encoding of "re-execute nothing":
+// any negative value works, this one documents intent.
+const NoRetries = -1
+
+// DefaultRetries is what Options.Retries = 0 selects.
+const DefaultRetries = 1
+
+// LiteralRetries converts a literal retry count — where 0 genuinely
+// means zero retries, the natural spelling for a CLI flag — into the
+// Options.Retries encoding (whose zero value selects DefaultRetries).
+// Negative literals also mean zero retries.
+func LiteralRetries(n int) int {
+	if n <= 0 {
+		return NoRetries
+	}
+	return n
+}
+
 func (o Options) withDefaults() Options {
 	if o.Workers <= 0 {
 		o.Workers = runtime.GOMAXPROCS(0)
 	}
 	if o.Retries == 0 {
-		o.Retries = 1
+		o.Retries = DefaultRetries
 	}
 	if o.Retries < 0 {
 		o.Retries = 0
