@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race fmt-check bench bench-json bench-smoke bench-scale-smoke sweep-smoke fuzz-smoke chaos-smoke diagnose-smoke service-smoke ci
+.PHONY: all build test vet race fmt-check bench bench-json bench-smoke bench-scale-smoke sweep-smoke fuzz-smoke chaos-smoke diagnose-smoke service-smoke ledger-smoke ci
 
 all: build test
 
@@ -67,6 +67,7 @@ sweep-smoke:
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzLoad -fuzztime=5s ./internal/sweep
 	$(GO) test -run='^$$' -fuzz=FuzzAnalyze -fuzztime=5s ./internal/diagnose/waitfor
+	$(GO) test -run='^$$' -fuzz=FuzzProof -fuzztime=5s ./internal/ledger
 
 # Chaos smoke: a short clean campaign under the aggressive "heavy"
 # chaos profile, under the race detector, asserting zero false
@@ -90,5 +91,31 @@ diagnose-smoke:
 service-smoke:
 	$(GO) test -race -run 'TestDaemonSmoke$$' -count=1 -v ./cmd/parastackd
 
+# Ledger smoke: the tamper-evidence contract end to end on disk. A
+# sweep runs through the Merkle ledger sink, is killed mid-grid and
+# resumed; psverify must pass the intact ledger; a third resume must be
+# pure cache hits (0 executed — the ledger as shared-results cache);
+# then one byte of one committed record blob is corrupted with dd and
+# psverify must fail, naming the damaged record's cell key.
+LEDGER_SMOKE_DIR := /tmp/parastack-ledger-smoke
+ledger-smoke:
+	@rm -rf $(LEDGER_SMOKE_DIR)
+	$(GO) run ./cmd/pssweep -grid smoke -ledger $(LEDGER_SMOKE_DIR) -halt-after 2
+	$(GO) run ./cmd/pssweep -grid smoke -ledger $(LEDGER_SMOKE_DIR) -resume
+	$(GO) run ./cmd/psverify -out $(LEDGER_SMOKE_DIR)
+	@$(GO) run ./cmd/pssweep -grid smoke -ledger $(LEDGER_SMOKE_DIR) -resume > /tmp/parastack-ledger-smoke.out \
+		&& grep -q '(0 executed' /tmp/parastack-ledger-smoke.out \
+		|| { echo "ledger-smoke: third pass was not pure cache hits:"; cat /tmp/parastack-ledger-smoke.out; exit 1; }
+	@f=$$(ls $(LEDGER_SMOKE_DIR)/records/* | head -1); \
+	key=$$(sed -n 's/.*"key":"\([^"]*\)".*/\1/p' $$f | head -1); \
+	printf '\377' | dd of=$$f bs=1 seek=5 count=1 conv=notrunc status=none; \
+	if $(GO) run ./cmd/psverify -out $(LEDGER_SMOKE_DIR) >/tmp/parastack-ledger-smoke.out 2>&1; then \
+		echo "ledger-smoke: psverify passed a corrupted ledger"; exit 1; fi; \
+	grep -qF "$$key" /tmp/parastack-ledger-smoke.out || { \
+		echo "ledger-smoke: psverify did not name the damaged key $$key:"; \
+		cat /tmp/parastack-ledger-smoke.out; exit 1; }
+	@rm -rf $(LEDGER_SMOKE_DIR) /tmp/parastack-ledger-smoke.out
+	@echo "ledger-smoke: OK"
+
 # The gate PRs must pass.
-ci: fmt-check vet build race bench-smoke bench-scale-smoke sweep-smoke fuzz-smoke chaos-smoke diagnose-smoke service-smoke
+ci: fmt-check vet build race bench-smoke bench-scale-smoke sweep-smoke fuzz-smoke chaos-smoke diagnose-smoke service-smoke ledger-smoke

@@ -40,10 +40,21 @@ import (
 	"syscall"
 	"time"
 
+	"parastack/internal/ledger"
 	"parastack/internal/obs"
+	"parastack/internal/results"
 	"parastack/internal/service"
 	"parastack/internal/sweep"
 )
+
+// sinkOrNil keeps a nil *ledger.Ledger from becoming a non-nil
+// results.Sink interface value.
+func sinkOrNil(led *ledger.Ledger) results.Sink {
+	if led == nil {
+		return nil
+	}
+	return led
+}
 
 func main() { os.Exit(run()) }
 
@@ -60,6 +71,7 @@ func run() int {
 	batch := flag.Int("batch", 0, "ingest batch size (0 = 16)")
 	batchDelay := flag.Duration("batch-delay", 0, "ingest batch flush deadline (0 = 2ms)")
 	retries := flag.Int("retries", 1, "retries for a panicking run (0 = none)")
+	ledgerDir := flag.String("ledger", "", "append every verdict to a tamper-evident Merkle ledger at this directory (verify with psverify -out DIR)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-drain bound on SIGTERM")
 	metrics := flag.Bool("metrics", false, "print service counters on exit")
 	flag.Parse()
@@ -68,6 +80,24 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "parastackd: exactly one of -socket or -listen is required")
 		flag.Usage()
 		return 2
+	}
+
+	// The verdict ledger outlives the service: it is closed only after
+	// Drain, so the final partial batch of verdicts is committed before
+	// the head root is reported.
+	var led *ledger.Ledger
+	if *ledgerDir != "" {
+		store, err := ledger.OpenDirStore(*ledgerDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "parastackd:", err)
+			return 1
+		}
+		defer store.Close()
+		if led, err = ledger.Open(store, ledger.Options{}); err != nil {
+			fmt.Fprintln(os.Stderr, "parastackd:", err)
+			return 1
+		}
+		defer led.Close()
 	}
 
 	rec := obs.New(nil)
@@ -79,6 +109,7 @@ func run() int {
 		BatchDelay: *batchDelay,
 		Retries:    sweep.LiteralRetries(*retries),
 		Recorder:   rec,
+		Sink:       sinkOrNil(led),
 	})
 
 	var ln net.Listener
@@ -131,6 +162,19 @@ func run() int {
 	srv.Shutdown()
 	if httpSrv != nil {
 		httpSrv.Close()
+	}
+	if led != nil {
+		// Commit the final verdict batch now so the printed head root
+		// covers everything this daemon decided (Close is idempotent —
+		// the deferred Close becomes a no-op).
+		if err := led.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "parastackd: ledger:", err)
+			code = 1
+		} else {
+			st := led.LedgerStats()
+			fmt.Printf("parastackd: ledger %s — %d verdict(s) appended, %d batch(es), head root %s\n",
+				*ledgerDir, st.Appends, st.Batches, led.HeadRoot())
+		}
 	}
 	if *metrics {
 		snap := svc.Counters()

@@ -35,10 +35,21 @@ import (
 	"syscall"
 	"time"
 
+	"parastack/internal/ledger"
 	"parastack/internal/obs"
 	"parastack/internal/paper"
+	"parastack/internal/results"
 	"parastack/internal/sweep"
 )
+
+// sinkOrNil keeps a nil *ledger.Ledger from becoming a non-nil
+// results.Sink interface value.
+func sinkOrNil(led *ledger.Ledger) results.Sink {
+	if led == nil {
+		return nil
+	}
+	return led
+}
 
 func main() { os.Exit(run()) }
 
@@ -48,8 +59,9 @@ func main() { os.Exit(run()) }
 // pending log flush.
 func run() int {
 	grid := flag.String("grid", "", `grid to run: "smoke", "paper", or a path to a JSON sweep spec`)
-	out := flag.String("out", "", "durable JSONL results-log path (required)")
-	resume := flag.Bool("resume", false, "resume: skip cells the results log already holds")
+	out := flag.String("out", "", "durable JSONL results-log path")
+	ledgerDir := flag.String("ledger", "", "write results through a tamper-evident Merkle ledger at this directory instead of a JSONL log (verify with psverify -out DIR)")
+	resume := flag.Bool("resume", false, "resume: skip cells whose results the log/ledger already holds")
 	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	ctxTimeout := flag.Duration("ctx-timeout", 0, "overall wall-time bound (0 = none); the sweep stops cleanly and is resumable")
 	retries := flag.Int("retries", sweep.DefaultRetries, "retries for a panicking run (0 = none)")
@@ -61,9 +73,19 @@ func run() int {
 	metrics := flag.Bool("metrics", false, "print sweep counter totals at the end")
 	flag.Parse()
 
-	if *grid == "" || *out == "" {
+	if *grid == "" || (*out == "") == (*ledgerDir == "") {
+		if *out != "" && *ledgerDir != "" {
+			fmt.Fprintln(os.Stderr, "pssweep: -out and -ledger are alternative result destinations; pass exactly one")
+		}
 		flag.Usage()
 		return 2
+	}
+
+	// dest names the results destination in messages: the JSONL log
+	// path or the ledger directory, whichever was chosen.
+	dest := *out
+	if *ledgerDir != "" {
+		dest = *ledgerDir
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -75,6 +97,25 @@ func run() int {
 	}
 
 	rec := obs.New(nil) // metrics-only; the pool serializes access
+
+	// The ledger sink is opened (and closed) here, not inside the
+	// sweep: the deferred Close is what commits the final partial
+	// batch, and it must run on every exit path.
+	var led *ledger.Ledger
+	if *ledgerDir != "" {
+		store, err := ledger.OpenDirStore(*ledgerDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pssweep:", err)
+			return 1
+		}
+		defer store.Close()
+		if led, err = ledger.Open(store, ledger.Options{}); err != nil {
+			fmt.Fprintln(os.Stderr, "pssweep:", err)
+			return 1
+		}
+		defer led.Close()
+	}
+
 	opts := sweep.Options{
 		Workers: *workers,
 		// The flag is literal — "-retries 0" really means zero — and is
@@ -83,6 +124,7 @@ func run() int {
 		Retries:  sweep.LiteralRetries(*retries),
 		Out:      *out,
 		Resume:   *resume,
+		Sink:     sinkOrNil(led),
 		MaxRuns:  *haltAfter,
 		Recorder: rec,
 		OnProgress: func(p sweep.Progress) {
@@ -101,9 +143,20 @@ func run() int {
 			fmt.Fprintln(os.Stderr, "pssweep: -chaos applies to grid sweeps, not -grid paper")
 			return 2
 		}
-		err = runPaper(ctx, opts, paper.Options{Runs: *runs, Seed: *seed, MaxScale: *maxScale})
+		err = runPaper(ctx, opts, paper.Options{Runs: *runs, Seed: *seed, MaxScale: *maxScale}, dest)
 	} else {
-		err = runGrid(ctx, *grid, *chaosAxis, opts)
+		err = runGrid(ctx, *grid, *chaosAxis, opts, dest)
+	}
+	if led != nil && err == nil {
+		// Commit the final batch before reporting, so the printed head
+		// root covers everything this sweep wrote.
+		if cerr := led.Close(); cerr != nil {
+			err = cerr
+		} else {
+			st := led.LedgerStats()
+			fmt.Printf("ledger: %d record(s) appended, %d dedup hit(s), %d batch(es) — head root %s\n",
+				st.Appends, st.DedupHits, st.Batches, led.HeadRoot())
+		}
 	}
 	if *metrics {
 		totals := obs.NewTotals()
@@ -123,7 +176,7 @@ func run() int {
 // runGrid executes a declared grid sweep and prints its summary.
 // chaosAxis, when non-empty, replaces the spec's chaos axis (validation
 // happens in Cells, up front).
-func runGrid(ctx context.Context, grid, chaosAxis string, opts sweep.Options) error {
+func runGrid(ctx context.Context, grid, chaosAxis string, opts sweep.Options, dest string) error {
 	var spec sweep.Spec
 	var err error
 	switch grid {
@@ -157,7 +210,7 @@ func runGrid(ctx context.Context, grid, chaosAxis string, opts sweep.Options) er
 		fmt.Println()
 	}
 	if interrupted || out.Halted {
-		fmt.Printf("sweep interrupted — rerun with -resume to finish (log: %s)\n", opts.Out)
+		fmt.Printf("sweep interrupted — rerun with -resume to finish (results: %s)\n", dest)
 	}
 	return nil
 }
@@ -166,7 +219,7 @@ func runGrid(ctx context.Context, grid, chaosAxis string, opts sweep.Options) er
 // campaign orchestrator: every campaign run is streamed to the results
 // log and replayed from it on -resume, so one long regeneration can be
 // killed and picked up any number of times.
-func runPaper(ctx context.Context, opts sweep.Options, popt paper.Options) error {
+func runPaper(ctx context.Context, opts sweep.Options, popt paper.Options, dest string) error {
 	orch, err := sweep.NewOrchestrator(ctx, opts)
 	if err != nil {
 		return err
@@ -187,7 +240,7 @@ func runPaper(ctx context.Context, opts sweep.Options, popt paper.Options) error
 	fmt.Printf("paper sweep: %d campaign runs (%d executed, %d replayed from log, %d failed)\n",
 		st.Total, st.Executed, st.Skipped, st.Failed)
 	if orch.Interrupted() {
-		fmt.Printf("regeneration interrupted — rerun with -resume to finish (log: %s)\n", opts.Out)
+		fmt.Printf("regeneration interrupted — rerun with -resume to finish (results: %s)\n", dest)
 	}
 	return nil
 }

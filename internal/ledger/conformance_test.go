@@ -1,0 +1,363 @@
+package ledger
+
+import (
+	"fmt"
+	"testing"
+
+	"parastack/internal/results"
+)
+
+// forEachStore runs the conformance body once per Store backend — the
+// cross-backend suite every implementation must pass. A new backend
+// (object store, ...) earns its keep by adding one line here.
+func forEachStore(t *testing.T, body func(t *testing.T, store Store)) {
+	t.Helper()
+	t.Run("mem", func(t *testing.T) {
+		s := NewMemStore()
+		defer s.Close()
+		body(t, s)
+	})
+	t.Run("dir", func(t *testing.T) {
+		s, err := OpenDirStore(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		body(t, s)
+	})
+}
+
+// testRecord builds a deterministic keyed record.
+func testRecord(i int) results.Record {
+	return results.Record{
+		Key:     fmt.Sprintf("w%d|tardis|computation|seed=%d", i%3, i),
+		Payload: []byte(fmt.Sprintf(`{"key":"w%d|tardis|computation|seed=%d","detected":true,"n":%d}`, i%3, i, i)),
+	}
+}
+
+// smallOpts forces frequent commits so tests cross batch boundaries.
+func smallOpts() Options { return Options{BatchSize: 4} }
+
+// Store-level conformance: Put/Get/Has/List semantics.
+func TestStoreConformance(t *testing.T) {
+	forEachStore(t, func(t *testing.T, store Store) {
+		if _, err := store.Get("nope"); err != ErrNotFound {
+			t.Fatalf("Get(missing) = %v, want ErrNotFound", err)
+		}
+		if ok, err := store.Has("nope"); err != nil || ok {
+			t.Fatalf("Has(missing) = %v, %v", ok, err)
+		}
+		if err := store.Put("a/1", []byte("one")); err != nil {
+			t.Fatal(err)
+		}
+		if err := store.Put("a/2", []byte("two")); err != nil {
+			t.Fatal(err)
+		}
+		if err := store.Put("b/1", []byte("three")); err != nil {
+			t.Fatal(err)
+		}
+		if err := store.Put("a/1", []byte("one-v2")); err != nil {
+			t.Fatal(err) // overwrite
+		}
+		data, err := store.Get("a/1")
+		if err != nil || string(data) != "one-v2" {
+			t.Fatalf("Get after overwrite = %q, %v", data, err)
+		}
+		keys, err := store.List("a/")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(keys) != 2 || keys[0] != "a/1" || keys[1] != "a/2" {
+			t.Fatalf("List(a/) = %v", keys)
+		}
+	})
+}
+
+// Ledger conformance: append → close → reopen → read back, proofs and
+// roots verifying clean, across backends.
+func TestLedgerAppendReadVerify(t *testing.T) {
+	forEachStore(t, func(t *testing.T, store Store) {
+		led, err := Open(store, smallOpts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		const n = 10 // BatchSize 4 → two full batches + one partial
+		want := make([]results.Record, n)
+		for i := range want {
+			want[i] = testRecord(i)
+			if err := led.Append(want[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := led.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if led.Seq() != 3 {
+			t.Fatalf("Seq = %d, want 3 batches", led.Seq())
+		}
+		root := led.HeadRoot()
+		if root == "" {
+			t.Fatal("HeadRoot empty after commits")
+		}
+
+		// Reopen: records replay in append order, byte-identical.
+		led2, err := Open(store, smallOpts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer led2.Close()
+		if led2.HeadRoot() != root {
+			t.Fatalf("reopened root %s != %s", led2.HeadRoot(), root)
+		}
+		got, err := led2.Records()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != n {
+			t.Fatalf("Records = %d, want %d", len(got), n)
+		}
+		for i := range got {
+			if got[i].Key != want[i].Key || string(got[i].Payload) != string(want[i].Payload) {
+				t.Fatalf("record %d mismatch: %+v", i, got[i])
+			}
+		}
+		for _, r := range want {
+			if !led2.Has(r.Key) {
+				t.Fatalf("Has(%q) false after reopen", r.Key)
+			}
+			payload, err := led2.Get(r.Key)
+			if err != nil || string(payload) != string(r.Payload) {
+				t.Fatalf("Get(%q) = %q, %v", r.Key, payload, err)
+			}
+		}
+
+		// Full audit: every root, blob, and inclusion proof.
+		rep, err := Verify(store, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.OK() {
+			t.Fatalf("Verify problems: %v", rep.Problems)
+		}
+		if rep.Batches != 3 || rep.Records != n || rep.Proofs == 0 {
+			t.Fatalf("Verify counts: %+v", rep)
+		}
+		if rep.HeadRoot != root {
+			t.Fatalf("Verify head root %s != %s", rep.HeadRoot, root)
+		}
+	})
+}
+
+// Append after Close must return the shared results.ErrClosed; Close
+// must be idempotent.
+func TestLedgerWriteAfterClose(t *testing.T) {
+	forEachStore(t, func(t *testing.T, store Store) {
+		led, err := Open(store, smallOpts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := led.Append(testRecord(0)); err != nil {
+			t.Fatal(err)
+		}
+		if err := led.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := led.Append(testRecord(1)); err != results.ErrClosed {
+			t.Fatalf("Append after Close = %v, want results.ErrClosed", err)
+		}
+		if err := led.Close(); err != nil {
+			t.Fatalf("second Close = %v, want nil", err)
+		}
+	})
+}
+
+// Identical (key, payload) re-appends are dedup hits — counted, not
+// re-stored; a differing payload for the same key is last-wins.
+func TestLedgerDedupAndLastWins(t *testing.T) {
+	forEachStore(t, func(t *testing.T, store Store) {
+		led, err := Open(store, smallOpts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec := testRecord(0)
+		for i := 0; i < 3; i++ {
+			if err := led.Append(rec); err != nil {
+				t.Fatal(err)
+			}
+		}
+		st := led.LedgerStats()
+		if st.Appends != 1 || st.DedupHits != 2 {
+			t.Fatalf("stats after re-appends: %+v", st)
+		}
+
+		// Dedup survives reopen: the index reloads the key map.
+		if err := led.Close(); err != nil {
+			t.Fatal(err)
+		}
+		led, err = Open(store, smallOpts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !led.Has(rec.Key) {
+			t.Fatal("Has lost the key across reopen")
+		}
+		if err := led.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+		if st := led.LedgerStats(); st.DedupHits != 1 || st.Appends != 0 {
+			t.Fatalf("stats after reopen re-append: %+v", st)
+		}
+
+		// Last-wins: same key, new payload.
+		v2 := results.Record{Key: rec.Key, Payload: []byte(`{"v":2}`)}
+		if err := led.Append(v2); err != nil {
+			t.Fatal(err)
+		}
+		if err := led.Close(); err != nil {
+			t.Fatal(err)
+		}
+		led, err = Open(store, smallOpts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer led.Close()
+		payload, err := led.Get(rec.Key)
+		if err != nil || string(payload) != `{"v":2}` {
+			t.Fatalf("Get after rewrite = %q, %v", payload, err)
+		}
+		rep, err := Verify(store, 0)
+		if err != nil || !rep.OK() {
+			t.Fatalf("Verify after rewrite: %v, %v", rep.Problems, err)
+		}
+	})
+}
+
+// Flush makes everything appended before it committed and readable
+// without closing the ledger.
+func TestLedgerFlush(t *testing.T) {
+	forEachStore(t, func(t *testing.T, store Store) {
+		led, err := Open(store, Options{BatchSize: 1000}) // deadline/flush only
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer led.Close()
+		for i := 0; i < 3; i++ {
+			if err := led.Append(testRecord(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := led.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		recs, err := led.Records()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(recs) != 3 {
+			t.Fatalf("Records after Flush = %d, want 3", len(recs))
+		}
+	})
+}
+
+// Torn tail, window 1: blobs written, no manifest. Open tolerates the
+// orphans; Verify counts them without failing.
+func TestLedgerTornTailOrphanBlobs(t *testing.T) {
+	forEachStore(t, func(t *testing.T, store Store) {
+		led, err := Open(store, smallOpts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 4; i++ {
+			if err := led.Append(testRecord(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := led.Close(); err != nil {
+			t.Fatal(err)
+		}
+
+		// Simulate the crash window: a manifest for seq+1 landed but is
+		// torn (unparseable), plus a stray record blob.
+		if err := store.Put(batchKey(2), []byte(`{"schema":"parastack-ledg`)); err != nil {
+			t.Fatal(err)
+		}
+		orphan := contentHash([]byte("orphan"))
+		if err := store.Put(recordKey(orphan), []byte("orphan")); err != nil {
+			t.Fatal(err)
+		}
+
+		led, err = Open(store, smallOpts())
+		if err != nil {
+			t.Fatalf("Open with torn tail: %v", err)
+		}
+		if led.Seq() != 1 {
+			t.Fatalf("Seq = %d, want 1 (torn manifest not adopted)", led.Seq())
+		}
+		defer led.Close()
+
+		rep, err := Verify(store, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.OK() {
+			t.Fatalf("torn tail should be tolerated, got %v", rep.Problems)
+		}
+		if rep.Orphans == 0 {
+			t.Fatal("orphan blobs past the tip not counted")
+		}
+	})
+}
+
+// Torn tail, window 2: a batch committed fully except HEAD. Open rolls
+// it forward — the batch's records reappear and the chain re-heads.
+func TestLedgerRollForward(t *testing.T) {
+	forEachStore(t, func(t *testing.T, store Store) {
+		led, err := Open(store, smallOpts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 8; i++ { // two full batches
+			if err := led.Append(testRecord(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := led.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if led.Seq() != 2 {
+			t.Fatalf("Seq = %d, want 2", led.Seq())
+		}
+		finalRoot := led.HeadRoot()
+
+		// Rewind HEAD to batch 1 — exactly the state a crash between the
+		// batch-2 manifest and its HEAD write leaves behind.
+		m1, err := led.manifestAt(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := led.writeHead(1, m1.Root); err != nil {
+			t.Fatal(err)
+		}
+
+		led2, err := Open(store, smallOpts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer led2.Close()
+		if led2.Seq() != 2 || led2.HeadRoot() != finalRoot {
+			t.Fatalf("roll-forward: seq=%d root=%s, want seq=2 root=%s",
+				led2.Seq(), led2.HeadRoot(), finalRoot)
+		}
+		recs, err := led2.Records()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(recs) != 8 {
+			t.Fatalf("Records after roll-forward = %d, want 8", len(recs))
+		}
+		rep, err := Verify(store, 0)
+		if err != nil || !rep.OK() {
+			t.Fatalf("Verify after roll-forward: %v, %v", rep.Problems, err)
+		}
+	})
+}

@@ -1,0 +1,241 @@
+package ledger
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// Problem is one verification finding, localized as tightly as the
+// damage allows: a record-level problem names its cell key, a
+// batch-level one its sequence number.
+type Problem struct {
+	// Key is the damaged record's cell key ("" for batch/head-level
+	// problems).
+	Key string `json:"key,omitempty"`
+	// Seq is the batch involved (0 for head-level problems).
+	Seq uint64 `json:"seq,omitempty"`
+	// Reason says what failed: "record corrupted", "record missing",
+	// "root mismatch", "chain broken", "proof invalid", ...
+	Reason string `json:"reason"`
+}
+
+func (p Problem) String() string {
+	s := p.Reason
+	if p.Seq != 0 {
+		s += fmt.Sprintf(" batch=%d", p.Seq)
+	}
+	if p.Key != "" {
+		s += fmt.Sprintf(" key=%q", p.Key)
+	}
+	return s
+}
+
+// VerifyReport is a full audit's outcome.
+type VerifyReport struct {
+	// HeadSeq/HeadRoot echo the chain tip the audit verified against.
+	HeadSeq  uint64 `json:"head_seq"`
+	HeadRoot string `json:"head_root,omitempty"`
+	// Batches, Records, Proofs count what was checked.
+	Batches int `json:"batches"`
+	Records int `json:"records"`
+	Proofs  int `json:"proofs"`
+	// Orphans counts store blobs past the committed tip (torn tail of
+	// a crashed commit) — tolerated, not failures.
+	Orphans int `json:"orphans,omitempty"`
+	// Problems is every finding, in (seq, key) order.
+	Problems []Problem `json:"problems,omitempty"`
+}
+
+// OK reports a clean audit.
+func (r *VerifyReport) OK() bool { return len(r.Problems) == 0 }
+
+// Verify replays the whole ledger in store: the batch chain against
+// HEAD, every batch root against its recomputed Merkle tree, every
+// record blob against its content hash, and every stored inclusion
+// proof against its batch root. workers bounds the parallel
+// record-hashing stage (<=0 = GOMAXPROCS). Verification never mutates
+// the store, and a corrupted blob is reported — with its cell key —
+// rather than returned as an error, so one damaged record cannot mask
+// the rest of the audit.
+func Verify(store Store, workers int) (*VerifyReport, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	rep := &VerifyReport{}
+	addProblem := func(p Problem) { rep.Problems = append(rep.Problems, p) }
+
+	// HEAD: the chain tip everything is checked against.
+	batches, err := store.List(batchPrefix)
+	if err != nil {
+		return nil, err
+	}
+	headData, err := store.Get(headKey)
+	switch {
+	case err == ErrNotFound:
+		if len(batches) > 0 {
+			addProblem(Problem{Reason: "HEAD missing with committed batches present (truncated)"})
+		}
+		return rep, nil // empty ledger: vacuously clean
+	case err != nil:
+		return nil, err
+	}
+	var h head
+	if json.Unmarshal(headData, &h) != nil || h.Schema != SchemaVersion {
+		addProblem(Problem{Reason: "HEAD corrupt or wrong schema"})
+		return rep, nil
+	}
+	rep.HeadSeq, rep.HeadRoot = h.Seq, h.Root
+
+	// Walk the chain: recompute each batch's root, check linkage.
+	prev := ""
+	type recordCheck struct {
+		key  string
+		seq  uint64
+		hash string
+	}
+	var checks []recordCheck
+	for seq := uint64(1); seq <= h.Seq; seq++ {
+		data, err := store.Get(batchKey(seq))
+		if err == ErrNotFound {
+			addProblem(Problem{Seq: seq, Reason: "batch manifest missing (truncated)"})
+			prev = "" // linkage beyond a hole is unverifiable; keep scanning roots
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		var m manifest
+		if json.Unmarshal(data, &m) != nil || m.Schema != SchemaVersion || m.Seq != seq {
+			addProblem(Problem{Seq: seq, Reason: "batch manifest corrupt"})
+			prev = ""
+			continue
+		}
+		rep.Batches++
+		if prev != "" && m.Prev != prev {
+			addProblem(Problem{Seq: seq, Reason: "chain broken (prev root mismatch)"})
+		}
+		leaves := make([][32]byte, len(m.Entries))
+		ok := true
+		for i, e := range m.Entries {
+			content, valid := parseHash(e.Hash)
+			if !valid {
+				addProblem(Problem{Seq: seq, Key: e.Key, Reason: "manifest entry hash corrupt"})
+				ok = false
+				continue
+			}
+			leaves[i] = leafHash(content)
+			checks = append(checks, recordCheck{key: e.Key, seq: seq, hash: e.Hash})
+		}
+		if ok && hexHash(merkleRoot(leaves)) != m.Root {
+			addProblem(Problem{Seq: seq, Reason: "root mismatch (manifest root does not match its entries)"})
+		}
+		prev = m.Root
+	}
+	if prev != "" && prev != h.Root {
+		addProblem(Problem{Seq: h.Seq, Reason: "HEAD root does not match last batch"})
+	}
+	for _, b := range batches {
+		var seq uint64
+		if _, err := fmt.Sscanf(b, batchPrefix+"%d", &seq); err == nil && seq > h.Seq {
+			rep.Orphans++
+		}
+	}
+
+	// Record blobs: hash every committed payload, in parallel.
+	var (
+		mu   sync.Mutex
+		wg   sync.WaitGroup
+		next = make(chan recordCheck)
+	)
+	found := make([]Problem, 0)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for c := range next {
+				content, _ := parseHash(c.hash) // validated above
+				payload, err := store.Get(recordKey(content))
+				var p *Problem
+				switch {
+				case err == ErrNotFound:
+					p = &Problem{Key: c.key, Seq: c.seq, Reason: "record missing (truncated)"}
+				case err != nil:
+					p = &Problem{Key: c.key, Seq: c.seq, Reason: "record unreadable: " + err.Error()}
+				case contentHash(payload) != content:
+					p = &Problem{Key: c.key, Seq: c.seq, Reason: "record corrupted (content hash mismatch)"}
+				}
+				mu.Lock()
+				rep.Records++
+				if p != nil {
+					found = append(found, *p)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, c := range checks {
+		next <- c
+	}
+	close(next)
+	wg.Wait()
+	rep.Problems = append(rep.Problems, found...)
+
+	// Index entries: every stored inclusion proof must verify against
+	// its batch's committed root.
+	idxKeys, err := store.List(indexPrefix)
+	if err != nil {
+		return nil, err
+	}
+	roots := make(map[uint64][32]byte)
+	for seq := uint64(1); seq <= h.Seq; seq++ {
+		if data, err := store.Get(batchKey(seq)); err == nil {
+			var m manifest
+			if json.Unmarshal(data, &m) == nil {
+				if r, ok := parseHash(m.Root); ok {
+					roots[seq] = r
+				}
+			}
+		}
+	}
+	for _, ik := range idxKeys {
+		data, err := store.Get(ik)
+		if err != nil {
+			addProblem(Problem{Reason: "index entry unreadable: " + ik})
+			continue
+		}
+		var e indexEntry
+		if json.Unmarshal(data, &e) != nil || e.Schema != SchemaVersion {
+			addProblem(Problem{Reason: "index entry corrupt: " + ik})
+			continue
+		}
+		if e.Seq > h.Seq {
+			rep.Orphans++ // torn tail: index written, HEAD not yet
+			continue
+		}
+		root, ok := roots[e.Seq]
+		if !ok {
+			addProblem(Problem{Key: e.Key, Seq: e.Seq, Reason: "index references missing batch"})
+			continue
+		}
+		content, ok := parseHash(e.Hash)
+		if !ok {
+			addProblem(Problem{Key: e.Key, Seq: e.Seq, Reason: "index entry hash corrupt"})
+			continue
+		}
+		rep.Proofs++
+		if !verifyProof(leafHash(content), e.Proof, root) {
+			addProblem(Problem{Key: e.Key, Seq: e.Seq, Reason: "inclusion proof invalid"})
+		}
+	}
+
+	sort.Slice(rep.Problems, func(a, b int) bool {
+		if rep.Problems[a].Seq != rep.Problems[b].Seq {
+			return rep.Problems[a].Seq < rep.Problems[b].Seq
+		}
+		return rep.Problems[a].Key < rep.Problems[b].Key
+	})
+	return rep, nil
+}

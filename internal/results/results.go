@@ -1,0 +1,60 @@
+// Package results defines the unified results-sink API: the small,
+// dependency-free contract every durable results consumer in the
+// repository satisfies. The sweep's JSONL log (internal/sweep.Log),
+// the tamper-evident Merkle ledger (internal/ledger.Ledger), and any
+// future backend (an object store, a network forwarder) all implement
+// Sink, so the sweep orchestrator and the detection service write
+// terminal records through one interface instead of a concrete log
+// type.
+//
+// The package is a deliberate leaf: it imports only the standard
+// library's errors package, so any layer — sweep, service, ledger, a
+// CLI — can depend on it without cycles.
+package results
+
+import "errors"
+
+// ErrClosed is the shared write-after-close sentinel: Append on any
+// closed Sink returns an error satisfying errors.Is(err, ErrClosed).
+// Callers racing a shutdown use it to distinguish "the sink is gone,
+// drop or re-route the record" from a real I/O failure. sweep.ErrClosed
+// aliases this value, so legacy comparisons keep working.
+var ErrClosed = errors.New("results: sink is closed")
+
+// Record is one terminal result in transit: a stable cell key plus the
+// serialized record (one JSON object, no trailing newline). The payload
+// is opaque to sinks — a JSONL log writes it verbatim as a line, a
+// ledger content-addresses and Merkle-commits it — which is what keeps
+// every backend bit-identical at the record level.
+type Record struct {
+	// Key is the record's stable identity: a sweep cell key, a campaign
+	// fingerprint key, or a service verdict key. Sinks that deduplicate
+	// or index (the ledger) do so by this string; sinks that don't (the
+	// JSONL log) ignore it.
+	Key string
+	// Payload is the serialized record. Sinks must not retain or
+	// mutate it after Append returns.
+	Payload []byte
+}
+
+// Sink consumes terminal result records. Implementations must be safe
+// for concurrent Append calls (sweep workers write from many
+// goroutines), must make Append after Close return ErrClosed, and must
+// make a second Close a no-op returning nil so every exit path of a
+// CLI can close unconditionally.
+type Sink interface {
+	// Append durably accepts one record. Implementations may buffer
+	// and batch; Close flushes whatever is pending.
+	Append(Record) error
+	// Close flushes buffered records and releases the sink.
+	Close() error
+}
+
+// Reader yields previously written records. A Sink that also
+// implements Reader supports resume: the sweep loads its prior records
+// through it and skips completed cells (last record per key wins, the
+// same contract as the JSONL log).
+type Reader interface {
+	// Records returns every record in append order.
+	Records() ([]Record, error)
+}

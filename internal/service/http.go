@@ -5,16 +5,26 @@ import (
 	"fmt"
 	"net/http"
 	"sort"
+	"strconv"
 )
 
 // Handler returns the daemon's HTTP surface — the query-side twin of
 // the framed-JSONL socket, for humans and dashboards:
 //
-//	GET  /verdicts        every decided verdict (JSON array)
-//	GET  /verdicts?id=j1  one verdict (404 unknown, 202 pending)
-//	POST /jobs            submit a JobSpec (JSON body)
-//	GET  /healthz         liveness
-//	GET  /metrics         service counters, one "name value" per line
+//	GET  /verdicts                 first page of decided verdicts (JSON array)
+//	GET  /verdicts?after=N&limit=M verdicts with seq > N, at most M of them
+//	GET  /verdicts?id=j1           one verdict (404 unknown, 202 pending)
+//	POST /jobs                     submit a JobSpec (JSON body)
+//	GET  /healthz                  liveness
+//	GET  /metrics                  service counters, one "name value" per line
+//
+// The list form is always bounded: with no limit it serves at most
+// DefaultVerdictsLimit (1000) verdicts, and limit is capped at
+// MaxVerdictsLimit — a long-running daemon holding millions of
+// verdicts can no longer OOM a naive scraper. Each verdict carries a
+// dense "seq" cursor; page by passing the last seq as after until a
+// short page comes back. When more verdicts remain past the page the
+// response carries the X-More: true header.
 //
 // Stream feeding stays on the socket: sample streams are long-lived
 // and ordered, which a request-per-batch HTTP surface handles poorly.
@@ -39,7 +49,29 @@ func Handler(svc *Service) http.Handler {
 			}
 			return
 		}
-		writeJSON(w, svc.Verdicts())
+		var after int64
+		if s := r.URL.Query().Get("after"); s != "" {
+			n, err := strconv.ParseInt(s, 10, 64)
+			if err != nil || n < 0 {
+				http.Error(w, "after must be a non-negative verdict seq", http.StatusBadRequest)
+				return
+			}
+			after = n
+		}
+		var limit int
+		if s := r.URL.Query().Get("limit"); s != "" {
+			n, err := strconv.Atoi(s)
+			if err != nil || n <= 0 {
+				http.Error(w, "limit must be a positive integer", http.StatusBadRequest)
+				return
+			}
+			limit = n
+		}
+		page, more := svc.VerdictsPage(after, limit)
+		if more {
+			w.Header().Set("X-More", "true")
+		}
+		writeJSON(w, page)
 	})
 
 	mux.HandleFunc("/jobs", func(w http.ResponseWriter, r *http.Request) {

@@ -117,6 +117,11 @@ const (
 // carries, minus the bulky observability payloads.
 type Verdict struct {
 	JobID string `json:"job_id"`
+	// Seq is the verdict's position in decision order (1, 2, 3, …),
+	// assigned when the verdict lands. It is the pagination cursor of
+	// GET /verdicts?after=<seq>&limit=<n>: pass the last verdict's Seq
+	// as after to fetch the next page.
+	Seq int64 `json:"seq,omitempty"`
 	// Key is the sweep cell key of a simulation job ("" for stream
 	// jobs) — the same identity a grid sweep would log it under.
 	Key    string `json:"key,omitempty"`

@@ -28,6 +28,7 @@ package service
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"hash/fnv"
@@ -38,6 +39,7 @@ import (
 
 	"parastack/internal/experiment"
 	"parastack/internal/obs"
+	"parastack/internal/results"
 	"parastack/internal/sweep"
 )
 
@@ -51,6 +53,8 @@ const (
 	CtrSamplesIn      = "service.samples_ingested" // stream samples accepted
 	CtrSamplesDropped = "service.samples_rejected" // stream samples refused (backlog, busy)
 	CtrVerdictsServed = "service.verdicts_served"  // verdict query responses
+	CtrSinkAppends    = "service.sink_appends"     // verdicts appended to the results sink
+	CtrSinkErrors     = "service.sink_errors"      // results-sink append failures (verdict still served)
 )
 
 // Admission errors. The server maps these onto wire error strings;
@@ -106,6 +110,13 @@ type Config struct {
 	// Run overrides the run executor (tests inject fakes; nil = each
 	// pool worker owns an experiment.Runner).
 	Run func(experiment.RunConfig) experiment.RunResult
+	// Sink, when non-nil, receives every decided verdict as one JSON
+	// record keyed "verdict|<job id>" — a ledger here makes the
+	// daemon's verdict history tamper-evident and psverify-auditable.
+	// Append failures are counted (CtrSinkErrors) but never block or
+	// fail the verdict itself; the sink's lifecycle belongs to the
+	// caller (close it after Drain).
+	Sink results.Sink
 }
 
 func (c Config) withDefaults() Config {
@@ -390,8 +401,11 @@ func (j *job) isDecided() bool {
 	}
 }
 
-// decide records a job's verdict, moves it out of residency, and wakes
-// waiters.
+// decide records a job's verdict, moves it out of residency, wakes
+// waiters, and streams the verdict to the results sink (if one is
+// configured). Seq — the /verdicts pagination cursor — is assigned
+// here, under the same lock that fixes the decision order, so cursors
+// and decision order can never disagree.
 func (s *Service) decide(j *job, v Verdict) {
 	if !j.dispatched.IsZero() {
 		v.IngestUS = j.dispatched.Sub(j.enq).Microseconds()
@@ -401,6 +415,7 @@ func (s *Service) decide(j *job, v Verdict) {
 		s.mu.Unlock()
 		return
 	}
+	v.Seq = int64(len(s.order) + 1)
 	j.verdict = v
 	delete(s.jobs, j.spec.ID)
 	s.decided[j.spec.ID] = j
@@ -413,6 +428,24 @@ func (s *Service) decide(j *job, v Verdict) {
 	} else {
 		s.count(CtrJobsCompleted, 1)
 	}
+	if s.cfg.Sink != nil {
+		if err := s.appendVerdict(v); err != nil {
+			s.count(CtrSinkErrors, 1)
+		} else {
+			s.count(CtrSinkAppends, 1)
+		}
+	}
+}
+
+// appendVerdict writes one verdict through the results sink, keyed so
+// that a restarted daemon appending the same job id lands on the same
+// ledger key (last record wins, the sweep-log rule).
+func (s *Service) appendVerdict(v Verdict) error {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	return s.cfg.Sink.Append(results.Record{Key: "verdict|" + v.JobID, Payload: payload})
 }
 
 // Verdict returns the job's verdict. ok is false while the job is
@@ -452,7 +485,10 @@ func (s *Service) Wait(ctx context.Context, jobID string) (Verdict, error) {
 	}
 }
 
-// Verdicts returns every decided job's verdict in decision order.
+// Verdicts returns every decided job's verdict in decision order —
+// unbounded, for in-process callers (drain summaries, tests). The
+// HTTP surface never serves this directly: it pages through
+// VerdictsPage so a long-running daemon cannot OOM a scraper.
 func (s *Service) Verdicts() []Verdict {
 	s.mu.Lock()
 	out := make([]Verdict, 0, len(s.order))
@@ -462,6 +498,48 @@ func (s *Service) Verdicts() []Verdict {
 	s.mu.Unlock()
 	s.count(CtrVerdictsServed, int64(len(out)))
 	return out
+}
+
+// Pagination bounds for VerdictsPage and GET /verdicts.
+const (
+	// DefaultVerdictsLimit is the page size when the client names none.
+	DefaultVerdictsLimit = 1000
+	// MaxVerdictsLimit caps any client-requested page size.
+	MaxVerdictsLimit = 10000
+)
+
+// VerdictsPage returns up to limit decided verdicts with Seq > after,
+// in decision order, plus whether more remain. Seq is assigned at
+// decision time and is dense (1, 2, 3, …), so a scraper pages with
+// after = the last verdict's Seq. limit outside (0, MaxVerdictsLimit]
+// selects DefaultVerdictsLimit or the cap respectively.
+func (s *Service) VerdictsPage(after int64, limit int) ([]Verdict, bool) {
+	if limit <= 0 {
+		limit = DefaultVerdictsLimit
+	}
+	if limit > MaxVerdictsLimit {
+		limit = MaxVerdictsLimit
+	}
+	s.mu.Lock()
+	start := int(after)
+	if after < 0 {
+		start = 0
+	}
+	if start > len(s.order) {
+		start = len(s.order)
+	}
+	end := start + limit
+	if end > len(s.order) {
+		end = len(s.order)
+	}
+	out := make([]Verdict, 0, end-start)
+	for _, id := range s.order[start:end] {
+		out = append(out, s.decided[id].verdict)
+	}
+	more := end < len(s.order)
+	s.mu.Unlock()
+	s.count(CtrVerdictsServed, int64(len(out)))
+	return out, more
 }
 
 // Pending returns the IDs of resident (undecided) jobs, sorted.

@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"parastack/internal/experiment"
+	"parastack/internal/results"
 )
 
 // Orchestrator drives ad-hoc campaigns (rather than a declared grid
@@ -28,32 +29,22 @@ import (
 type Orchestrator struct {
 	ctx   context.Context
 	opts  Options
-	log   *Log
+	sink  results.Sink
+	owned bool // the orchestrator opened the sink and must close it
 	prior map[string]Record
 	pool  *pool
 }
 
-// NewOrchestrator opens (or resumes) the results log named by
-// opts.Out and returns an orchestrator ready to serve Campaign calls.
+// NewOrchestrator opens (or resumes) the results destination — the
+// JSONL log named by opts.Out, or opts.Sink (a ledger) when set — and
+// returns an orchestrator ready to serve Campaign calls.
 func NewOrchestrator(ctx context.Context, opts Options) (*Orchestrator, error) {
 	opts = opts.withDefaults()
-	prior := map[string]Record{}
-	var log *Log
-	var err error
-	if opts.Out != "" {
-		if opts.Resume {
-			if prior, err = loadPrior(opts.Out); err != nil {
-				return nil, err
-			}
-			log, err = AppendLog(opts.Out, opts.SyncEvery)
-		} else {
-			log, err = CreateLog(opts.Out, opts.SyncEvery)
-		}
-		if err != nil {
-			return nil, err
-		}
+	sink, owned, prior, err := opts.openSink()
+	if err != nil {
+		return nil, err
 	}
-	return &Orchestrator{ctx: ctx, opts: opts, log: log, prior: prior, pool: newPool(opts, log)}, nil
+	return &Orchestrator{ctx: ctx, opts: opts, sink: sink, owned: owned, prior: prior, pool: newPool(opts, sink)}, nil
 }
 
 // Campaign runs n seeds (seed0, seed0+1, …) of base and returns results
@@ -124,12 +115,14 @@ func (o *Orchestrator) Err() error {
 	return o.pool.logErr
 }
 
-// Close flushes and closes the results log.
+// Close flushes and closes the results destination the orchestrator
+// opened; a caller-provided Options.Sink stays open (its owner closes
+// it — and for a ledger that close is what commits the final batch).
 func (o *Orchestrator) Close() error {
-	if o.log == nil {
+	if o.sink == nil || !o.owned {
 		return nil
 	}
-	return o.log.Close()
+	return o.sink.Close()
 }
 
 // placeholderResult carries a run's identity with no outcome, standing

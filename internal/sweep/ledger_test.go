@@ -1,0 +1,240 @@
+package sweep
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"parastack/internal/experiment"
+	"parastack/internal/ledger"
+	"parastack/internal/noise"
+	"parastack/internal/results"
+	"parastack/internal/workload"
+)
+
+// openTestLedger opens a ledger over a fresh (or existing) DirStore and
+// registers both for cleanup.
+func openTestLedger(t *testing.T, dir string) *ledger.Ledger {
+	t.Helper()
+	store, err := ledger.OpenDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { store.Close() })
+	led, err := ledger.Open(store, ledger.Options{BatchSize: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { led.Close() })
+	return led
+}
+
+// The ledger sink must hold payloads byte-identical to the JSONL log's
+// lines — one marshal point feeds both — and yield the same aggregate.
+func TestLedgerSinkBitIdenticalToJSONL(t *testing.T) {
+	spec := testSpec()
+	ctx := context.Background()
+
+	logPath := filepath.Join(t.TempDir(), "sweep.jsonl")
+	fromLog, err := Run(ctx, spec, Options{Run: fakeRun, Workers: 2, Out: logPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	led := openTestLedger(t, filepath.Join(t.TempDir(), "ledger"))
+	fromLed, err := Run(ctx, spec, Options{Run: fakeRun, Workers: 2, Sink: led})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := led.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	if got, want := aggregateJSON(t, fromLed), aggregateJSON(t, fromLog); got != want {
+		t.Fatalf("aggregates differ:\nledger: %s\njsonl:  %s", got, want)
+	}
+
+	// Byte-for-byte: each JSONL line is exactly the ledger payload for
+	// its cell key.
+	f, err := os.Open(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	lines := map[string]bool{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		lines[sc.Text()] = true
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	ledRecs, err := led.Records()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ledRecs) != fromLog.Total {
+		t.Fatalf("ledger holds %d records, want %d", len(ledRecs), fromLog.Total)
+	}
+	for _, r := range ledRecs {
+		if _, ok := lines[string(r.Payload)]; !ok {
+			t.Fatalf("ledger payload for %q has no byte-identical JSONL line:\n%s", r.Key, r.Payload)
+		}
+	}
+}
+
+// Kill-and-resume through the ledger: a sweep halted mid-grid and
+// resumed from the ledger must aggregate bit-identically to an
+// uninterrupted sweep, and a third full resume re-executes nothing —
+// the ledger acting as the shared-results cache.
+func TestLedgerKillAndResume(t *testing.T) {
+	spec := testSpec()
+	ctx := context.Background()
+
+	straight, err := Run(ctx, spec, Options{Run: fakeRun, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := aggregateJSON(t, straight)
+
+	dir := filepath.Join(t.TempDir(), "ledger")
+
+	led := openTestLedger(t, dir)
+	half, err := Run(ctx, spec, Options{Run: fakeRun, Workers: 2, Sink: led, MaxRuns: straight.Total / 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !half.Halted || half.Executed != straight.Total/2 {
+		t.Fatalf("halted run: halted=%v executed=%d", half.Halted, half.Executed)
+	}
+	if err := led.Close(); err != nil { // the "kill": commit and drop the handle
+		t.Fatal(err)
+	}
+
+	led2 := openTestLedger(t, dir)
+	resumed, err := Run(ctx, spec, Options{Run: fakeRun, Workers: 4, Sink: led2, Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resumed.Complete() {
+		t.Fatalf("resumed sweep incomplete: %d/%d", len(resumed.Records), resumed.Total)
+	}
+	if resumed.Skipped != half.Executed {
+		t.Fatalf("resume skipped %d, want %d", resumed.Skipped, half.Executed)
+	}
+	if got := aggregateJSON(t, resumed); got != want {
+		t.Fatalf("resumed aggregate differs:\n got %s\nwant %s", got, want)
+	}
+	if err := led2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Third pass over a complete ledger: pure cache hits, zero
+	// executions — the dedup/no-re-execution contract.
+	led3 := openTestLedger(t, dir)
+	third, err := Run(ctx, spec, Options{Run: fakeRun, Workers: 4, Sink: led3, Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if third.Executed != 0 || third.Skipped != third.Total {
+		t.Fatalf("third pass executed %d, skipped %d/%d — want all cache hits",
+			third.Executed, third.Skipped, third.Total)
+	}
+	if got := aggregateJSON(t, third); got != want {
+		t.Fatalf("third-pass aggregate differs:\n got %s\nwant %s", got, want)
+	}
+	if err := led3.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The whole history must audit clean.
+	store, err := ledger.OpenDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	rep, err := ledger.Verify(store, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("ledger audit after resume cycle: %v", rep.Problems)
+	}
+}
+
+// A Sink that cannot replay records cannot resume; the error must say
+// so instead of silently re-running everything.
+func TestResumeRequiresReader(t *testing.T) {
+	_, err := Run(context.Background(), testSpec(), Options{
+		Run:    fakeRun,
+		Sink:   writeOnlySink{},
+		Resume: true,
+	})
+	if err == nil {
+		t.Fatal("Resume with a write-only sink should fail")
+	}
+}
+
+type writeOnlySink struct{}
+
+func (writeOnlySink) Append(results.Record) error { return nil }
+func (writeOnlySink) Close() error                { return nil }
+
+// The orchestrator path (pssweep -grid paper) over a ledger sink:
+// campaigns stream into the ledger, a second orchestrator over the same
+// ledger replays them without executing.
+func TestOrchestratorLedgerSink(t *testing.T) {
+	base := experiment.RunConfig{
+		Params:   workload.MustLookup("CG", "D", 64),
+		Platform: noise.Tardis(),
+	}
+	ctx := context.Background()
+	dir := filepath.Join(t.TempDir(), "ledger")
+
+	led := openTestLedger(t, dir)
+	orch, err := NewOrchestrator(ctx, Options{Run: fakeRun, Sink: led})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := orch.Campaign(base, 4, 1)
+	if err := orch.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if st := orch.Stats(); st.Executed != 4 {
+		t.Fatalf("first orchestrator executed %d, want 4", st.Executed)
+	}
+	// Close() must NOT close a caller-provided sink. The probe is a
+	// well-formed sweep record so later resumes can still replay the
+	// ledger.
+	probe, err := json.Marshal(Record{Schema: SchemaVersion, Key: "probe", Status: StatusOK})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := led.Append(results.Record{Key: "probe", Payload: probe}); err != nil {
+		t.Fatalf("orchestrator closed the caller's ledger: %v", err)
+	}
+	if err := led.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	led2 := openTestLedger(t, dir)
+	orch2, err := NewOrchestrator(ctx, Options{Run: fakeRun, Sink: led2, Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	second := orch2.Campaign(base, 4, 1)
+	if st := orch2.Stats(); st.Executed != 0 || st.Skipped != 4 {
+		t.Fatalf("resumed orchestrator executed %d, skipped %d — want pure replay", st.Executed, st.Skipped)
+	}
+	for i := range first {
+		if first[i].Seed != second[i].Seed || first[i].Detected != second[i].Detected {
+			t.Fatalf("replayed campaign result %d differs: %+v vs %+v", i, first[i], second[i])
+		}
+	}
+	if err := orch2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

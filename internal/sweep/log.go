@@ -4,22 +4,24 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
-	"errors"
 	"fmt"
 	"io"
 	"os"
 	"sync"
 
 	"parastack/internal/experiment"
+	"parastack/internal/results"
 )
 
-// ErrClosed is returned by Write on a Log that has been Closed. It is a
-// sentinel so callers racing a shutdown can distinguish "the log is
-// gone, drop the record or re-route it" from a real I/O failure —
-// before the closed flag existed, a late Write hit the closed *os.File
-// and surfaced a confusing "file already closed" error after up to
-// syncEvery-1 records had already been silently flushed away.
-var ErrClosed = errors.New("sweep: results log is closed")
+// ErrClosed is returned by Write/Append on a Log that has been Closed.
+// It is a sentinel so callers racing a shutdown can distinguish "the
+// log is gone, drop the record or re-route it" from a real I/O failure
+// — before the closed flag existed, a late Write hit the closed
+// *os.File and surfaced a confusing "file already closed" error after
+// up to syncEvery-1 records had already been silently flushed away.
+// It aliases the shared results.ErrClosed sentinel, so one errors.Is
+// check covers every results sink (the JSONL log, the Merkle ledger).
+var ErrClosed = results.ErrClosed
 
 // SchemaVersion tags every results-log record; Load rejects logs
 // written by an incompatible schema. The record format is one JSON
@@ -104,19 +106,29 @@ func AppendLog(path string, syncEvery int) (*Log, error) {
 	return openLog(path, false, syncEvery)
 }
 
-// Write appends one record and fsyncs if the batch is due. Writing to
-// a closed log returns ErrClosed without touching the file.
+// Write marshals and appends one record, fsyncing if the batch is due.
+// It is the legacy entry point, kept as a thin adapter over Append —
+// the results.Sink method the sweep machinery now writes through.
+// Writing to a closed log returns ErrClosed without touching the file.
 func (l *Log) Write(rec Record) error {
 	data, err := json.Marshal(rec)
 	if err != nil {
 		return err
 	}
+	return l.Append(results.Record{Key: rec.Key, Payload: data})
+}
+
+// Append implements results.Sink: the payload — one already-marshaled
+// record — becomes one line of the JSONL log (the key is carried
+// inside the payload, so the log ignores rec.Key). Batched fsync and
+// the closed-log contract behave exactly as Write always did.
+func (l *Log) Append(rec results.Record) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
 		return ErrClosed
 	}
-	if _, err := l.bw.Write(data); err != nil {
+	if _, err := l.bw.Write(rec.Payload); err != nil {
 		return err
 	}
 	if err := l.bw.WriteByte('\n'); err != nil {
@@ -193,6 +205,30 @@ func Load(path string) ([]Record, error) {
 		}
 	}
 	return out, nil
+}
+
+// loadPriorFromReader builds the resume index from any results.Reader
+// (the ledger, in practice): each payload is decoded and schema-checked
+// exactly as Load checks a JSONL line, and the last record per key
+// wins — so resuming against a ledger applies the same semantics as
+// resuming against the log it replaces.
+func loadPriorFromReader(r results.Reader) (map[string]Record, error) {
+	recs, err := r.Records()
+	if err != nil {
+		return nil, err
+	}
+	prior := make(map[string]Record, len(recs))
+	for i, rr := range recs {
+		var rec Record
+		if err := json.Unmarshal(rr.Payload, &rec); err != nil {
+			return nil, fmt.Errorf("sweep: sink record %d (key %q): %w", i, rr.Key, err)
+		}
+		if rec.Schema != SchemaVersion {
+			return nil, fmt.Errorf("sweep: sink record %d (key %q): schema %q, want %q", i, rr.Key, rec.Schema, SchemaVersion)
+		}
+		prior[rec.Key] = rec
+	}
+	return prior, nil
 }
 
 // loadPrior builds the resume index: last terminal record per key.

@@ -2,6 +2,7 @@ package sweep
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"runtime"
 	"sync"
@@ -9,6 +10,7 @@ import (
 
 	"parastack/internal/experiment"
 	"parastack/internal/obs"
+	"parastack/internal/results"
 )
 
 // Counter and event names the orchestrator reports through its
@@ -52,8 +54,18 @@ type Options struct {
 	Retries int
 	// Out is the durable results-log path ("" = in-memory only).
 	Out string
-	// Resume reloads Out (if it exists) and skips its completed cells
-	// instead of truncating it.
+	// Sink, when non-nil, receives every terminal record instead of a
+	// JSONL log at Out (which is then ignored). Any results.Sink works
+	// — the Merkle ledger (internal/ledger) is the canonical one. The
+	// sweep flushes records through the sink but never closes a
+	// caller-provided sink: the caller owns its lifecycle (and, for a
+	// ledger, its final batch commit).
+	Sink results.Sink
+	// Resume skips cells whose terminal records already exist: loaded
+	// from Out (if it exists) instead of truncating it, or — when Sink
+	// also implements results.Reader, as the ledger does — from the
+	// sink itself, which is what makes a shared ledger a cross-sweep
+	// results cache (identical cells dedup instead of re-executing).
 	Resume bool
 	// SyncEvery is the log's fsync batch size (0 = 16).
 	SyncEvery int
@@ -93,6 +105,44 @@ func LiteralRetries(n int) int {
 		return NoRetries
 	}
 	return n
+}
+
+// openSink resolves the options' results destination and resume index:
+// a caller-provided Options.Sink (owned=false — the caller closes it),
+// or a JSONL log opened at Out (owned=true — the sweep closes it), or
+// nil for in-memory-only sweeps. When Resume is set, prior holds the
+// last terminal record per key, loaded from whichever source will be
+// written.
+func (o Options) openSink() (sink results.Sink, owned bool, prior map[string]Record, err error) {
+	prior = map[string]Record{}
+	if o.Sink != nil {
+		if o.Resume {
+			r, ok := o.Sink.(results.Reader)
+			if !ok {
+				return nil, false, nil, fmt.Errorf("sweep: Options.Sink %T does not implement results.Reader, so it cannot resume", o.Sink)
+			}
+			if prior, err = loadPriorFromReader(r); err != nil {
+				return nil, false, nil, err
+			}
+		}
+		return o.Sink, false, prior, nil
+	}
+	if o.Out == "" {
+		return nil, false, prior, nil
+	}
+	var log *Log
+	if o.Resume {
+		if prior, err = loadPrior(o.Out); err != nil {
+			return nil, false, nil, err
+		}
+		log, err = AppendLog(o.Out, o.SyncEvery)
+	} else {
+		log, err = CreateLog(o.Out, o.SyncEvery)
+	}
+	if err != nil {
+		return nil, false, nil, err
+	}
+	return log, true, prior, nil
 }
 
 func (o Options) withDefaults() Options {
@@ -165,12 +215,12 @@ type unit struct {
 }
 
 // pool executes units with bounded workers, panic-recovery retry,
-// result-log streaming, and progress reporting. One pool can serve many
+// result-sink streaming, and progress reporting. One pool can serve many
 // batches (the Orchestrator reuses it across campaigns) so counters,
 // the MaxRuns budget, and progress accumulate.
 type pool struct {
 	opts Options
-	log  *Log
+	sink results.Sink
 	rec  obs.Recorder
 
 	mu           sync.Mutex
@@ -186,8 +236,19 @@ type pool struct {
 	logErr       error
 }
 
-func newPool(opts Options, log *Log) *pool {
-	return &pool{opts: opts, log: log, rec: opts.Recorder, started: time.Now()}
+func newPool(opts Options, sink results.Sink) *pool {
+	return &pool{opts: opts, sink: sink, rec: opts.Recorder, started: time.Now()}
+}
+
+// writeRecord marshals one terminal record and appends it to sink —
+// the single serialization point shared by every backend, which is why
+// a ledger-held record is byte-identical to its JSONL line.
+func writeRecord(sink results.Sink, rec Record) error {
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	return sink.Append(results.Record{Key: rec.Key, Payload: data})
 }
 
 // noteSkipped accounts for cells satisfied from a resumed log.
@@ -233,8 +294,8 @@ func (p *pool) run(ctx context.Context, units []unit, sink func(Record)) error {
 			for u := range next {
 				rec := p.execute(u, &run)
 				p.mu.Lock()
-				if p.log != nil {
-					if err := p.log.Write(rec); err != nil && p.logErr == nil {
+				if p.sink != nil {
+					if err := writeRecord(p.sink, rec); err != nil && p.logErr == nil {
 						p.logErr = err
 					}
 				}
@@ -374,25 +435,18 @@ func Run(ctx context.Context, spec Spec, opts Options) (*Outcome, error) {
 		return nil, err
 	}
 
-	prior := map[string]Record{}
-	if opts.Resume && opts.Out != "" {
-		if prior, err = loadPrior(opts.Out); err != nil {
-			return nil, err
-		}
+	sink, owned, prior, err := opts.openSink()
+	if err != nil {
+		return nil, err
 	}
-	var log *Log
-	if opts.Out != "" {
-		if opts.Resume {
-			log, err = AppendLog(opts.Out, opts.SyncEvery)
-		} else {
-			log, err = CreateLog(opts.Out, opts.SyncEvery)
+	closeSink := func() error {
+		if sink == nil || !owned {
+			return nil
 		}
-		if err != nil {
-			return nil, err
-		}
+		return sink.Close()
 	}
 
-	p := newPool(opts, log)
+	p := newPool(opts, sink)
 	final := make([]*Record, len(cells))
 	var units []unit
 	for _, c := range cells {
@@ -406,9 +460,7 @@ func Run(ctx context.Context, spec Spec, opts Options) (*Outcome, error) {
 		}
 		rc, err := spec.RunConfig(c)
 		if err != nil {
-			if log != nil {
-				log.Close()
-			}
+			closeSink()
 			return nil, err
 		}
 		units = append(units, unit{key: key, index: c.Index, rc: rc})
@@ -418,10 +470,8 @@ func Run(ctx context.Context, spec Spec, opts Options) (*Outcome, error) {
 		rr := r
 		final[r.Index] = &rr
 	})
-	if log != nil {
-		if cerr := log.Close(); cerr != nil && runErr == nil {
-			runErr = cerr
-		}
+	if cerr := closeSink(); cerr != nil && runErr == nil {
+		runErr = cerr
 	}
 
 	out := &Outcome{Spec: spec, Total: len(cells), Elapsed: time.Since(start)}

@@ -51,9 +51,11 @@ import (
 	"parastack/internal/detect"
 	"parastack/internal/experiment"
 	"parastack/internal/fault"
+	"parastack/internal/ledger"
 	"parastack/internal/mpi"
 	"parastack/internal/noise"
 	"parastack/internal/obs"
+	"parastack/internal/results"
 	"parastack/internal/sched"
 	"parastack/internal/sim"
 	"parastack/internal/stack"
@@ -430,3 +432,61 @@ func SmokeSweepSpec() SweepSpec { return sweep.SmokeSpec() }
 func NewSweepOrchestrator(ctx context.Context, opts SweepOptions) (*SweepOrchestrator, error) {
 	return sweep.NewOrchestrator(ctx, opts)
 }
+
+// Results plumbing: the unified sink/reader contract every results
+// destination — JSONL sweep logs and the Merkle ledger — satisfies
+// (package internal/results).
+type (
+	// ResultsRecord is one keyed result payload.
+	ResultsRecord = results.Record
+	// ResultsSink accepts records; SweepOptions.Sink and the daemon's
+	// Config.Sink take one.
+	ResultsSink = results.Sink
+	// ResultsReader replays previously appended records (resume).
+	ResultsReader = results.Reader
+)
+
+// ErrResultsClosed is returned by any results sink appended to after
+// Close.
+var ErrResultsClosed = results.ErrClosed
+
+// Tamper-evident results ledger (package internal/ledger, commands
+// cmd/pssweep -ledger and cmd/psverify).
+type (
+	// Ledger is the append-only Merkle results ledger: batched appends,
+	// one root per batch chained to HEAD, per-record inclusion proofs,
+	// content-addressed dedup by record key.
+	Ledger = ledger.Ledger
+	// LedgerStore is the raw blob store a Ledger runs on (in-memory or
+	// local-disk; implement it to add a backend).
+	LedgerStore = ledger.Store
+	// LedgerOptions tunes batching (size, flush deadline).
+	LedgerOptions = ledger.Options
+	// LedgerStats counts appends, dedup hits, and committed batches.
+	LedgerStats = ledger.Stats
+	// LedgerVerifyReport is a full audit's outcome (VerifyLedger).
+	LedgerVerifyReport = ledger.VerifyReport
+	// LedgerProblem is one localized verification failure.
+	LedgerProblem = ledger.Problem
+	// LedgerProofStep is one step of a Merkle inclusion proof.
+	LedgerProofStep = ledger.ProofStep
+)
+
+// OpenLedger opens (or recovers) a ledger on store.
+func OpenLedger(store LedgerStore, opts LedgerOptions) (*Ledger, error) {
+	return ledger.Open(store, opts)
+}
+
+// VerifyLedger audits a ledger store: roots replayed, chain walked,
+// every record re-hashed, every inclusion proof checked. workers
+// bounds parallel record hashing (0 = GOMAXPROCS).
+func VerifyLedger(store LedgerStore, workers int) (*LedgerVerifyReport, error) {
+	return ledger.Verify(store, workers)
+}
+
+// NewLedgerMemStore returns an empty in-memory ledger store.
+func NewLedgerMemStore() *ledger.MemStore { return ledger.NewMemStore() }
+
+// OpenLedgerDirStore opens (creating if needed) a local-disk ledger
+// store rooted at dir — the layout pssweep -ledger and psverify use.
+func OpenLedgerDirStore(dir string) (*ledger.DirStore, error) { return ledger.OpenDirStore(dir) }
