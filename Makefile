@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race fmt-check bench bench-json bench-smoke bench-scale-smoke sweep-smoke fuzz-smoke chaos-smoke diagnose-smoke service-smoke ledger-smoke ci
+.PHONY: all build test vet race fmt-check bench bench-json bench-smoke bench-scale-smoke sweep-smoke fuzz-smoke chaos-smoke diagnose-smoke service-smoke recover-smoke ledger-smoke ci
 
 all: build test
 
@@ -61,13 +61,16 @@ sweep-smoke:
 	@rm -f $(SWEEP_SMOKE_LOG)
 
 # Short fuzz of the results-log reader (corrupted/torn JSONL must never
-# panic Load or sneak past its schema check) and of the hang classifier
+# panic Load or sneak past its schema check), of the hang classifier
 # (arbitrary serialized snapshots must never panic Analyze or accuse an
-# unobserved rank). Fixed seed corpus + 5s of mutation each.
+# unobserved rank), and of the admission-journal replay (corrupted or
+# torn journals must never panic ReplayJournal or double-admit a job).
+# Fixed seed corpus + 5s of mutation each.
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzLoad -fuzztime=5s ./internal/sweep
 	$(GO) test -run='^$$' -fuzz=FuzzAnalyze -fuzztime=5s ./internal/diagnose/waitfor
 	$(GO) test -run='^$$' -fuzz=FuzzProof -fuzztime=5s ./internal/ledger
+	$(GO) test -run='^$$' -fuzz=FuzzJournalReplay -fuzztime=5s ./internal/service
 
 # Chaos smoke: a short clean campaign under the aggressive "heavy"
 # chaos profile, under the race detector, asserting zero false
@@ -90,6 +93,15 @@ diagnose-smoke:
 # SIGTERM drain (see cmd/parastackd/main_test.go).
 service-smoke:
 	$(GO) test -race -run 'TestDaemonSmoke$$' -count=1 -v ./cmd/parastackd
+
+# Crash-recovery smoke: build parastackd with the race detector, run a
+# burst of jobs with an admission journal and a verdict ledger, SIGKILL
+# the daemon after the first verdict, restart it on the same journal,
+# and require exactly one verdict per job — bit-identical to
+# uninterrupted in-process runs — with the verdict ledger auditing
+# clean (see cmd/parastackd/recover_test.go).
+recover-smoke:
+	$(GO) test -race -run 'TestKillAndRecoverDaemon$$' -count=1 -v ./cmd/parastackd
 
 # Ledger smoke: the tamper-evidence contract end to end on disk. A
 # sweep runs through the Merkle ledger sink, is killed mid-grid and
@@ -118,4 +130,4 @@ ledger-smoke:
 	@echo "ledger-smoke: OK"
 
 # The gate PRs must pass.
-ci: fmt-check vet build race bench-smoke bench-scale-smoke sweep-smoke fuzz-smoke chaos-smoke diagnose-smoke service-smoke ledger-smoke
+ci: fmt-check vet build race bench-smoke bench-scale-smoke sweep-smoke fuzz-smoke chaos-smoke diagnose-smoke service-smoke recover-smoke ledger-smoke

@@ -11,6 +11,7 @@
 //	parastackd -socket /run/parastackd.sock
 //	parastackd -listen 127.0.0.1:7117 -http 127.0.0.1:7118
 //	parastackd -socket /tmp/psd.sock -workers 8 -max-jobs 4096 -retries 0
+//	parastackd -socket /tmp/psd.sock -journal /var/lib/psd/journal.jsonl -retry-max 3
 //
 // Submit with any line-oriented client:
 //
@@ -18,11 +19,23 @@
 //	{"op":"wait","id":"j1","timeout_ms":60000}
 //	{"op":"verdicts"}
 //
+// With -journal the daemon is crash-safe: every accepted job is
+// appended (fsynced) to the journal before the client sees success,
+// and a restart with the same journal re-installs decided verdicts and
+// re-runs open jobs — exactly one verdict per job, bit-identical to an
+// uninterrupted run. -retry-max/-retry-base, -job-deadline, and
+// -breaker-threshold/-breaker-cooldown tune the supervisor: transient
+// failures (panicked workers, open shard circuits, plausibly-transient
+// hang causes) are requeued with deterministic backoff; structural
+// hangs (deadlock, collective mismatch) are never retried.
+//
 // On SIGTERM/SIGINT the daemon drains gracefully: intake is rejected,
 // the ingest batcher flushes, every in-flight run completes, pending
 // stream jobs are closed out, and only then do the listeners shut down
 // — so a client that submitted before the signal can still collect its
-// verdict. -drain-timeout bounds the wait.
+// verdict. -drain-timeout is a hard deadline: on expiry the
+// still-undecided jobs are flushed to the journal as open entries
+// (recoverable on restart) and the daemon exits nonzero, naming them.
 //
 // See the "Running the daemon" section of README.md for the protocol
 // and an end-to-end example.
@@ -30,6 +43,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net"
@@ -56,6 +70,14 @@ func sinkOrNil(led *ledger.Ledger) results.Sink {
 	return led
 }
 
+// journalOrNil does the same for the JSONL admission journal.
+func journalOrNil(j *results.JSONL) results.Sink {
+	if j == nil {
+		return nil
+	}
+	return j
+}
+
 func main() { os.Exit(run()) }
 
 // run is the whole daemon; keeping main a bare os.Exit(run()) means
@@ -72,7 +94,13 @@ func run() int {
 	batchDelay := flag.Duration("batch-delay", 0, "ingest batch flush deadline (0 = 2ms)")
 	retries := flag.Int("retries", 1, "retries for a panicking run (0 = none)")
 	ledgerDir := flag.String("ledger", "", "append every verdict to a tamper-evident Merkle ledger at this directory (verify with psverify -out DIR)")
-	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-drain bound on SIGTERM")
+	journalPath := flag.String("journal", "", "durable admission journal (JSONL file): admits are journaled before the client sees success, and a restart with the same journal recovers open jobs exactly-once")
+	retryMax := flag.Int("retry-max", 1, "max executions per job, initial dispatch included (1 = never requeue)")
+	retryBase := flag.Duration("retry-base", 0, "base requeue backoff, doubling per attempt (0 = 50ms)")
+	jobDeadline := flag.Duration("job-deadline", 0, "per-job admission-to-verdict deadline for simulation jobs (0 = unbounded)")
+	breakerThreshold := flag.Int("breaker-threshold", 0, "consecutive run failures that trip a shard's circuit breaker (0 = 5, negative = disabled)")
+	breakerCooldown := flag.Duration("breaker-cooldown", 0, "open-breaker cooldown before a half-open probe (0 = 5s)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-drain bound on SIGTERM; on expiry stragglers are journaled as open and the daemon exits nonzero")
 	metrics := flag.Bool("metrics", false, "print service counters on exit")
 	flag.Parse()
 
@@ -100,17 +128,47 @@ func run() int {
 		defer led.Close()
 	}
 
+	// The admission journal is opened (and replayed, below) before the
+	// listeners come up, so recovery never races fresh traffic. Every
+	// append is fsynced: journal-before-ack is only worth its name if
+	// "journaled" means "on disk".
+	var jnl *results.JSONL
+	if *journalPath != "" {
+		var err error
+		if jnl, err = results.OpenJSONL(*journalPath, 1); err != nil {
+			fmt.Fprintln(os.Stderr, "parastackd:", err)
+			return 1
+		}
+		defer jnl.Close()
+	}
+
 	rec := obs.New(nil)
 	svc := service.New(service.Config{
-		Workers:    *workers,
-		Shards:     *shards,
-		MaxJobs:    *maxJobs,
-		BatchSize:  *batch,
-		BatchDelay: *batchDelay,
-		Retries:    sweep.LiteralRetries(*retries),
-		Recorder:   rec,
-		Sink:       sinkOrNil(led),
+		Workers:          *workers,
+		Shards:           *shards,
+		MaxJobs:          *maxJobs,
+		BatchSize:        *batch,
+		BatchDelay:       *batchDelay,
+		Retries:          sweep.LiteralRetries(*retries),
+		Recorder:         rec,
+		Sink:             sinkOrNil(led),
+		Journal:          journalOrNil(jnl),
+		Retry:            service.RetryPolicy{MaxAttempts: *retryMax, BaseDelay: *retryBase},
+		JobDeadline:      *jobDeadline,
+		BreakerThreshold: *breakerThreshold,
+		BreakerCooldown:  *breakerCooldown,
 	})
+
+	if jnl != nil {
+		rep, err := svc.Recover(jnl)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "parastackd: recover:", err)
+			return 1
+		}
+		if len(rep.Decided) > 0 || len(rep.Open) > 0 || rep.Skipped > 0 {
+			fmt.Printf("parastackd: journal %s replayed: %s\n", *journalPath, rep)
+		}
+	}
 
 	var ln net.Listener
 	var err error
@@ -154,6 +212,12 @@ func run() int {
 	code := 0
 	if err := svc.Drain(dctx); err != nil {
 		fmt.Fprintln(os.Stderr, "parastackd: drain:", err)
+		var dte *service.DrainTimeoutError
+		if errors.As(err, &dte) {
+			for _, id := range dte.Stragglers {
+				fmt.Fprintln(os.Stderr, "parastackd: drain straggler:", id)
+			}
+		}
 		code = 1
 	}
 	cancel()

@@ -40,19 +40,11 @@ func TestDaemonSmoke(t *testing.T) {
 	go func() { exited <- daemon.Wait() }()
 	defer daemon.Process.Kill() // no-op after a clean exit
 
-	// The daemon is up when the socket accepts.
-	var cl *service.Client
-	deadline := time.Now().Add(30 * time.Second)
-	for {
-		var err error
-		cl, err = service.Dial("unix", sock)
-		if err == nil {
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Fatalf("daemon never came up: %v", err)
-		}
-		time.Sleep(20 * time.Millisecond)
+	// The daemon is up when the socket accepts; DialRetry rides out the
+	// startup window.
+	cl, err := service.DialRetry("unix", sock, dialPolicy)
+	if err != nil {
+		t.Fatalf("daemon never came up: %v", err)
 	}
 	defer cl.Close()
 

@@ -15,6 +15,7 @@ import (
 
 	"parastack/internal/chaos"
 	"parastack/internal/core"
+	"parastack/internal/detect"
 	"parastack/internal/diagnose/waitfor"
 	"parastack/internal/fault"
 	"parastack/internal/mpi"
@@ -170,6 +171,20 @@ type RunResult struct {
 	// Metrics is the run's observability snapshot: engine and monitor
 	// counters/gauges (see core.Ctr*/sim.Ctr* for names).
 	Metrics obs.Snapshot
+}
+
+// RetryClass classifies this run's outcome for a supervising
+// scheduler: RetryNone for a run whose application completed with no
+// report (there is nothing to redo), otherwise the cause-derived class
+// — structural causes (deadlock, collective mismatch) are RetryNever,
+// everything else (straggler chains, lost messages, unknown, no
+// diagnosis) is RetryTransient. parastackd's job supervisor consults
+// this to decide fail-fast versus requeue-with-backoff.
+func (r *RunResult) RetryClass() detect.RetryClass {
+	if r.Completed && firstReport(r) == nil {
+		return detect.RetryNone
+	}
+	return detect.RetryClassForCause(r.Cause)
 }
 
 // Runner executes simulations while retaining the engine and world

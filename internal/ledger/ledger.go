@@ -423,6 +423,11 @@ func (l *Ledger) Flush() error {
 	return l.Err()
 }
 
+// Lag implements results.Lagger: records accepted but not yet handed
+// to the committer — a lower bound on durability lag (records in the
+// committer's open batch are not counted; Flush bounds those too).
+func (l *Ledger) Lag() int { return len(l.in) }
+
 // Close implements results.Sink: stop intake, commit the final partial
 // batch, and return any sticky commit error. Idempotent.
 func (l *Ledger) Close() error {

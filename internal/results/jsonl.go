@@ -1,0 +1,168 @@
+package results
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"os"
+	"sync"
+)
+
+// JSONL is the plain-file Sink/Reader: one payload per line, appended
+// in arrival order, fsync'd every SyncEvery appends and on Flush/Close.
+// It is the results-sink twin of the sweep's log (internal/sweep.Log)
+// with two additions the service journal needs: it implements Reader —
+// Records re-reads the file, tolerating a torn final line from a hard
+// kill — and it reports Lag, the number of appended records not yet
+// covered by an fsync (the crash-loss window a health probe surfaces).
+//
+// Keys are not persisted: the payload is written verbatim, so any
+// identity a reader needs must ride inside the payload (the journal's
+// records carry their kind and job id; the sweep log carries its cell
+// key). Records therefore returns each line with an empty Key.
+type JSONL struct {
+	mu        sync.Mutex
+	path      string
+	f         *os.File
+	bw        *bufio.Writer
+	sinceSync int
+	every     int
+	closed    bool
+}
+
+// OpenJSONL opens (creating if absent, appending otherwise) a JSONL
+// sink at path. syncEvery is the fsync batch size; <= 0 selects 1 —
+// fsync on every append — because the primary consumer is the service
+// admission journal, whose journal-before-ack invariant is only as
+// strong as the sync policy.
+func OpenJSONL(path string, syncEvery int) (*JSONL, error) {
+	if syncEvery <= 0 {
+		syncEvery = 1
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &JSONL{path: path, f: f, bw: bufio.NewWriter(f), every: syncEvery}, nil
+}
+
+// Append implements Sink: the payload becomes one line. The line is
+// flushed and fsync'd when the sync batch is due.
+func (l *JSONL) Append(rec Record) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if _, err := l.bw.Write(rec.Payload); err != nil {
+		return err
+	}
+	if err := l.bw.WriteByte('\n'); err != nil {
+		return err
+	}
+	l.sinceSync++
+	if l.sinceSync >= l.every {
+		return l.syncLocked()
+	}
+	return nil
+}
+
+// Flush forces buffered records to disk (fsync included) without
+// closing the sink.
+func (l *JSONL) Flush() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	return l.syncLocked()
+}
+
+func (l *JSONL) syncLocked() error {
+	l.sinceSync = 0
+	if err := l.bw.Flush(); err != nil {
+		return err
+	}
+	return l.f.Sync()
+}
+
+// Lag reports how many appended records are not yet covered by an
+// fsync — the most a crash right now could lose.
+func (l *JSONL) Lag() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.sinceSync
+}
+
+// Close flushes, fsyncs, and closes the file. A second Close is a
+// no-op returning nil.
+func (l *JSONL) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	flushErr := l.bw.Flush()
+	syncErr := l.f.Sync()
+	closeErr := l.f.Close()
+	if flushErr != nil {
+		return flushErr
+	}
+	if syncErr != nil {
+		return syncErr
+	}
+	return closeErr
+}
+
+// Records implements Reader: every complete line, in file order, as a
+// Record with an empty Key. Buffered-but-unflushed appends are synced
+// first so a sink reads its own writes. A torn final line — no
+// trailing newline, the signature of a hard kill mid-write — is
+// dropped, matching the sweep log's crash-recovery rule; empty lines
+// are skipped.
+func (l *JSONL) Records() ([]Record, error) {
+	l.mu.Lock()
+	if !l.closed && l.sinceSync > 0 {
+		if err := l.syncLocked(); err != nil {
+			l.mu.Unlock()
+			return nil, err
+		}
+	}
+	path := l.path
+	l.mu.Unlock()
+	return ReadJSONL(path)
+}
+
+// ReadJSONL reads a JSONL file written by a JSONL sink (or any other
+// line-per-record writer) into Records, without needing the sink open.
+// A missing file is an empty result, not an error — a first boot with
+// a journal path configured has nothing to replay.
+func ReadJSONL(path string) ([]Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	defer f.Close()
+	var out []Record
+	r := bufio.NewReader(f)
+	for {
+		data, err := r.ReadBytes('\n')
+		complete := err == nil
+		line := bytes.TrimSpace(data)
+		if len(line) > 0 && complete {
+			payload := make([]byte, len(line))
+			copy(payload, line)
+			out = append(out, Record{Payload: payload})
+		}
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+}

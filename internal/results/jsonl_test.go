@@ -1,0 +1,127 @@
+package results
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestJSONLRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	l, err := OpenJSONL(path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{`{"a":1}`, `{"b":2}`, `{"c":3}`}
+	for _, p := range want {
+		if err := l.Append(Record{Key: "k", Payload: []byte(p)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Reads its own (already synced — syncEvery 1) writes.
+	recs, err := l.Records()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != len(want) {
+		t.Fatalf("records = %d, want %d", len(recs), len(want))
+	}
+	for i, r := range recs {
+		if string(r.Payload) != want[i] {
+			t.Errorf("record %d = %q, want %q", i, r.Payload, want[i])
+		}
+		if r.Key != "" {
+			t.Errorf("record %d key = %q, want empty (keys are not persisted)", i, r.Key)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+	if err := l.Append(Record{Payload: []byte("x")}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("append after close = %v, want ErrClosed", err)
+	}
+	// Reopen appends rather than truncating.
+	l2, err := OpenJSONL(path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if err := l2.Append(Record{Payload: []byte(`{"d":4}`)}); err != nil {
+		t.Fatal(err)
+	}
+	recs, err = l2.Records()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != len(want)+1 {
+		t.Fatalf("records after reopen+append = %d, want %d", len(recs), len(want)+1)
+	}
+}
+
+func TestJSONLLagAndFlush(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	l, err := OpenJSONL(path, 100) // large sync batch: appends stay lagged
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for i := 0; i < 3; i++ {
+		if err := l.Append(Record{Payload: []byte(`{}`)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := l.Lag(); got != 3 {
+		t.Fatalf("lag = %d, want 3", got)
+	}
+	if err := l.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Lag(); got != 0 {
+		t.Fatalf("lag after flush = %d, want 0", got)
+	}
+	// Records syncs pending appends first, so a lagging sink still
+	// reads its own writes.
+	if err := l.Append(Record{Payload: []byte(`{}`)}); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := l.Records()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 4 {
+		t.Fatalf("records = %d, want 4", len(recs))
+	}
+	if got := l.Lag(); got != 0 {
+		t.Fatalf("lag after Records = %d, want 0", got)
+	}
+}
+
+func TestReadJSONLTornFinalLine(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "torn.jsonl")
+	// A hard kill mid-write leaves a final line with no newline; it must
+	// be dropped, not returned or erred on.
+	if err := os.WriteFile(path, []byte("{\"a\":1}\n\n{\"b\":2}\n{\"torn\":"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReadJSONL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("records = %d, want 2 (torn final line dropped, empty line skipped)", len(recs))
+	}
+	if string(recs[1].Payload) != `{"b":2}` {
+		t.Fatalf("record 1 = %q", recs[1].Payload)
+	}
+}
+
+func TestReadJSONLMissingFile(t *testing.T) {
+	recs, err := ReadJSONL(filepath.Join(t.TempDir(), "absent.jsonl"))
+	if err != nil || recs != nil {
+		t.Fatalf("missing file = (%v, %v), want (nil, nil)", recs, err)
+	}
+}

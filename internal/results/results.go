@@ -8,8 +8,10 @@
 // type.
 //
 // The package is a deliberate leaf: it imports only the standard
-// library's errors package, so any layer — sweep, service, ledger, a
-// CLI — can depend on it without cycles.
+// library, so any layer — sweep, service, ledger, a CLI — can depend
+// on it without cycles. Besides the contract it ships one minimal
+// implementation, the plain-file JSONL sink (see jsonl.go), which the
+// detection service uses as its default admission-journal backend.
 package results
 
 import "errors"
@@ -53,8 +55,26 @@ type Sink interface {
 // Reader yields previously written records. A Sink that also
 // implements Reader supports resume: the sweep loads its prior records
 // through it and skips completed cells (last record per key wins, the
-// same contract as the JSONL log).
+// same contract as the JSONL log), and the detection service replays
+// its admission journal through it on a crash-recovery boot.
 type Reader interface {
 	// Records returns every record in append order.
 	Records() ([]Record, error)
+}
+
+// Flusher is the optional durability hook a Sink may offer: Flush
+// forces buffered records onto stable storage without closing the
+// sink. The service's drain-deadline path uses it to pin straggler
+// admissions down before a forced exit; callers must tolerate sinks
+// that don't implement it (their Append is then assumed durable or
+// best-effort by construction).
+type Flusher interface {
+	Flush() error
+}
+
+// Lagger is the optional health hook a Sink may offer: Lag reports how
+// many accepted records are not yet durable — the crash-loss window.
+// The daemon's /healthz surfaces it as journal lag.
+type Lagger interface {
+	Lag() int
 }

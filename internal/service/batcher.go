@@ -60,6 +60,14 @@ func (b *batcher) offer(e envelope) bool {
 	}
 }
 
+// put admits one envelope, blocking while the ingest stage is
+// saturated. Recovery uses it to re-admit a journal's open jobs — a
+// replay larger than the ingest bound must wait its turn, not fail.
+// The caller must guarantee the batcher is not closed.
+func (b *batcher) put(e envelope) {
+	b.in <- e
+}
+
 // close stops intake and flushes whatever is pending. The caller must
 // guarantee no offer calls race or follow close.
 func (b *batcher) close() {

@@ -1,0 +1,110 @@
+package service
+
+import (
+	"fmt"
+	"time"
+)
+
+// RetryClient wraps the framed-JSONL Client with the two resilience
+// behaviors every real caller of the daemon ends up hand-rolling:
+// reconnect (re-dial a dropped or not-yet-listening daemon) and
+// jittered-backoff retry of the wire's "retry later" rejections
+// (ErrBusy — ingest saturated — and ErrBacklog — stream backlog full).
+// The backoff schedule is the supervisor's own RetryPolicy, so a
+// client's retry pacing is as deterministic and table-testable as the
+// server's requeue pacing. Like Client, it is not safe for concurrent
+// use.
+type RetryClient struct {
+	network, addr string
+	policy        RetryPolicy
+	c             *Client
+}
+
+// retryableWire reports whether a wire error string is a "retry later"
+// backpressure signal rather than a terminal rejection.
+func retryableWire(errStr string) bool {
+	return errStr == ErrBusy.Error() || errStr == ErrBacklog.Error()
+}
+
+// DialRetry connects to a daemon, retrying the dial itself under
+// policy — so a client racing a daemon's startup (or restart-recovery)
+// waits for the listener instead of failing. policy.MaxAttempts bounds
+// the dial attempts; the zero policy tries once.
+func DialRetry(network, addr string, policy RetryPolicy) (*RetryClient, error) {
+	policy = policy.withDefaults()
+	rc := &RetryClient{network: network, addr: addr, policy: policy}
+	var err error
+	for attempt := 1; ; attempt++ {
+		rc.c, err = Dial(network, addr)
+		if err == nil {
+			return rc, nil
+		}
+		if attempt >= policy.MaxAttempts {
+			return nil, fmt.Errorf("service: dial %s %s: %w", network, addr, err)
+		}
+		time.Sleep(policy.Delay("dial|"+addr, attempt))
+	}
+}
+
+// Do sends one request, reconnecting on transport errors and backing
+// off on retryable wire rejections, until the policy's attempts run
+// out. A submit resent after an ambiguous transport failure may come
+// back "duplicate job id" — that means the first send landed, so it is
+// reported as success (the response's OK is forced true).
+func (rc *RetryClient) Do(req Request) (Response, error) {
+	key := req.Op + "|" + req.ID
+	resent := false
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		resp, err := rc.do(req)
+		switch {
+		case err != nil:
+			lastErr = err
+			rc.dropConn()
+			resent = true
+		case retryableWire(resp.Error):
+			lastErr = fmt.Errorf("service: %s rejected: %s", req.Op, resp.Error)
+		case resent && req.Op == OpSubmit && resp.Error == ErrDuplicate.Error():
+			// The retried submit's first send was admitted before the
+			// transport failure: the duplicate rejection is the ack.
+			resp.OK, resp.Error = true, ""
+			return resp, nil
+		default:
+			return resp, nil
+		}
+		if attempt >= rc.policy.MaxAttempts {
+			if err == nil {
+				return resp, nil // surface the wire rejection, not an error
+			}
+			return Response{}, lastErr
+		}
+		time.Sleep(rc.policy.Delay(key, attempt))
+	}
+}
+
+// do performs one attempt, (re)dialing if the connection is gone.
+func (rc *RetryClient) do(req Request) (Response, error) {
+	if rc.c == nil {
+		c, err := Dial(rc.network, rc.addr)
+		if err != nil {
+			return Response{}, err
+		}
+		rc.c = c
+	}
+	return rc.c.Do(req)
+}
+
+func (rc *RetryClient) dropConn() {
+	if rc.c != nil {
+		rc.c.Close()
+		rc.c = nil
+	}
+}
+
+// Close closes the underlying connection, if any.
+func (rc *RetryClient) Close() error {
+	if rc.c == nil {
+		return nil
+	}
+	return rc.c.Close()
+}

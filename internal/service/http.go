@@ -2,6 +2,7 @@ package service
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"sort"
@@ -15,7 +16,9 @@ import (
 //	GET  /verdicts?after=N&limit=M verdicts with seq > N, at most M of them
 //	GET  /verdicts?id=j1           one verdict (404 unknown, 202 pending)
 //	POST /jobs                     submit a JobSpec (JSON body)
-//	GET  /healthz                  liveness
+//	GET  /healthz                  health JSON: ok|degraded|draining, queue
+//	                               depths, open breakers, journal lag
+//	                               (503 while draining)
 //	GET  /metrics                  service counters, one "name value" per line
 //
 // The list form is always bounded: with no limit it serves at most
@@ -86,11 +89,13 @@ func Handler(svc *Service) http.Handler {
 		}
 		if err := svc.Submit(js); err != nil {
 			status := http.StatusBadRequest
-			switch err {
-			case ErrQuota, ErrBusy, ErrDraining:
+			switch {
+			case err == ErrQuota || err == ErrBusy || err == ErrDraining:
 				status = http.StatusServiceUnavailable
-			case ErrDuplicate:
+			case err == ErrDuplicate:
 				status = http.StatusConflict
+			case errors.Is(err, ErrJournal):
+				status = http.StatusInternalServerError
 			}
 			http.Error(w, err.Error(), status)
 			return
@@ -100,7 +105,17 @@ func Handler(svc *Service) http.Handler {
 	})
 
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		fmt.Fprintln(w, "ok")
+		h := svc.Health()
+		// "draining" is 503 so load balancers stop routing to a daemon
+		// on its way out; "degraded" (open breakers, lagging journal) is
+		// still 200 — serving, but worth a look.
+		if h.Status == "draining" {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			json.NewEncoder(w).Encode(h)
+			return
+		}
+		writeJSON(w, h)
 	})
 
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {

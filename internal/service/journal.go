@@ -1,0 +1,199 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+
+	"parastack/internal/results"
+)
+
+// The admission journal is the daemon's crash-safety spine: every
+// accepted job is appended to it *before* the client sees success
+// (journal-before-ack), and every verdict is appended *before* it is
+// streamed to the verdict sink — so at any kill point the journal
+// holds a superset of what the client was told and a record of every
+// verdict that may have reached the sink. Recovery (Service.Recover)
+// replays it: jobs with a verdict record are re-installed without
+// re-execution, jobs without one are re-admitted and re-run.
+//
+// The journal writes through the results.Sink narrow waist, so the
+// plain JSONL file sink (results.OpenJSONL — parastackd's -journal
+// flag) and the tamper-evident Merkle ledger (internal/ledger) are
+// both valid backends. Replay is pure and order-insensitive: records
+// are paired by job ID, so a verdict that raced ahead of its admit in
+// a concurrent append schedule still closes the right entry.
+const (
+	// JournalSchema tags every journal record; replay skips (and
+	// counts) records from an incompatible schema instead of guessing.
+	JournalSchema = "parastack-journal/v1"
+
+	// JournalKindAdmit marks an admission record (Job is set).
+	JournalKindAdmit = "admit"
+	// JournalKindVerdict marks a close-out record (Verdict is set).
+	JournalKindVerdict = "verdict"
+)
+
+// Journal record keys, for sinks that index by key (the ledger). The
+// prefixes keep journal records disjoint from the "verdict|<id>" keys
+// of the verdict sink, so one ledger can safely serve as both.
+func journalAdmitKey(id string) string   { return "journal|admit|" + id }
+func journalVerdictKey(id string) string { return "journal|verdict|" + id }
+
+// JournalRecord is one line of the admission journal.
+type JournalRecord struct {
+	Schema string `json:"schema"`
+	Kind   string `json:"kind"`
+	JobID  string `json:"job_id"`
+	// Job is the admitted spec (admit records only) — everything
+	// recovery needs to rebuild and re-run the job.
+	Job *JobSpec `json:"job,omitempty"`
+	// Verdict is the final answer (verdict records only). Recovery
+	// re-installs it verbatim and re-appends it to the verdict sink,
+	// where the ledger's content dedup makes the replay idempotent.
+	Verdict *Verdict `json:"verdict,omitempty"`
+}
+
+// journal serializes journal records into a results.Sink. Appends are
+// serialized by an internal mutex so admit/verdict interleavings from
+// concurrent workers land whole.
+type journal struct {
+	mu   sync.Mutex
+	sink results.Sink
+}
+
+func (jl *journal) append(key string, rec JournalRecord) error {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	jl.mu.Lock()
+	defer jl.mu.Unlock()
+	return jl.sink.Append(results.Record{Key: key, Payload: payload})
+}
+
+// admit journals one accepted job.
+func (jl *journal) admit(js JobSpec) error {
+	return jl.append(journalAdmitKey(js.ID), JournalRecord{
+		Schema: JournalSchema, Kind: JournalKindAdmit, JobID: js.ID, Job: &js,
+	})
+}
+
+// verdict journals one decided job.
+func (jl *journal) verdict(v Verdict) error {
+	return jl.append(journalVerdictKey(v.JobID), JournalRecord{
+		Schema: JournalSchema, Kind: JournalKindVerdict, JobID: v.JobID, Verdict: &v,
+	})
+}
+
+// flush forces the journal durable if the backend supports it (the
+// drain-deadline path: stragglers must be recoverable before a forced
+// exit).
+func (jl *journal) flush() error {
+	jl.mu.Lock()
+	defer jl.mu.Unlock()
+	if f, ok := jl.sink.(results.Flusher); ok {
+		return f.Flush()
+	}
+	return nil
+}
+
+// lag reports the backend's durability lag, 0 when unknown.
+func (jl *journal) lag() int {
+	jl.mu.Lock()
+	defer jl.mu.Unlock()
+	if lg, ok := jl.sink.(results.Lagger); ok {
+		return lg.Lag()
+	}
+	return 0
+}
+
+// Replay is the outcome of reading a journal back: the decided jobs
+// (verdict present — re-install, never re-run) and the open jobs
+// (admitted, no verdict — re-admit and re-run). It is what
+// Service.Recover consumes.
+type Replay struct {
+	// Open holds every admitted-but-unverdicted job spec, in first-admit
+	// order. Each job ID appears at most once.
+	Open []JobSpec
+	// Decided holds every journaled verdict, ordered by Seq (ties by
+	// journal order). Each job ID appears at most once; a later verdict
+	// record for the same ID wins (last-wins, the sweep-log rule).
+	Decided []Verdict
+	// Skipped counts records that could not be decoded or carried an
+	// unknown schema/kind — tolerated (a torn or corrupted journal must
+	// never block recovery of the readable rest) but surfaced.
+	Skipped int
+}
+
+// ReplayJournal pairs a journal's records into the recovery work-list.
+// It is pure and total: arbitrary (including corrupted or truncated)
+// payloads never panic, no job ID is ever emitted twice, and no ID
+// appears both Open and Decided — the properties FuzzJournalReplay
+// pins.
+func ReplayJournal(recs []results.Record) Replay {
+	var rep Replay
+	admits := make(map[string]int)  // id → index into rep.Open
+	decided := make(map[string]int) // id → index into rep.Decided
+	var order []string              // decided ids in first-verdict order
+	verdicts := make(map[string]Verdict)
+	for _, rr := range recs {
+		var jr JournalRecord
+		if err := json.Unmarshal(rr.Payload, &jr); err != nil {
+			rep.Skipped++
+			continue
+		}
+		if jr.Schema != JournalSchema || jr.JobID == "" {
+			rep.Skipped++
+			continue
+		}
+		switch jr.Kind {
+		case JournalKindAdmit:
+			if jr.Job == nil || jr.Job.ID != jr.JobID {
+				rep.Skipped++
+				continue
+			}
+			if _, dup := admits[jr.JobID]; dup {
+				continue // duplicate admit (ledger replays, retried appends): first wins
+			}
+			admits[jr.JobID] = len(rep.Open)
+			rep.Open = append(rep.Open, *jr.Job)
+		case JournalKindVerdict:
+			if jr.Verdict == nil || jr.Verdict.JobID != jr.JobID {
+				rep.Skipped++
+				continue
+			}
+			if _, seen := decided[jr.JobID]; !seen {
+				decided[jr.JobID] = len(order)
+				order = append(order, jr.JobID)
+			}
+			verdicts[jr.JobID] = *jr.Verdict // last verdict wins
+		default:
+			rep.Skipped++
+		}
+	}
+	// Decided jobs leave the open set.
+	open := rep.Open[:0]
+	for _, js := range rep.Open {
+		if _, done := decided[js.ID]; !done {
+			open = append(open, js)
+		}
+	}
+	rep.Open = open
+	rep.Decided = make([]Verdict, 0, len(order))
+	for _, id := range order {
+		rep.Decided = append(rep.Decided, verdicts[id])
+	}
+	// Seq order is the decision order of the pre-crash daemon; sort by
+	// it (stable, so journal order breaks ties for seq-less verdicts).
+	sort.SliceStable(rep.Decided, func(a, b int) bool {
+		return rep.Decided[a].Seq < rep.Decided[b].Seq
+	})
+	return rep
+}
+
+// String summarizes a replay for boot logs.
+func (r Replay) String() string {
+	return fmt.Sprintf("%d decided, %d open, %d skipped", len(r.Decided), len(r.Open), r.Skipped)
+}

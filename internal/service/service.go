@@ -55,6 +55,15 @@ const (
 	CtrVerdictsServed = "service.verdicts_served"  // verdict query responses
 	CtrSinkAppends    = "service.sink_appends"     // verdicts appended to the results sink
 	CtrSinkErrors     = "service.sink_errors"      // results-sink append failures (verdict still served)
+
+	// Supervision counters (journal, recovery, retries, breakers).
+	CtrJobsRecovered   = "service.jobs_recovered"   // open jobs re-admitted by a journal replay
+	CtrJobRetries      = "service.retries"          // transient-infra re-dispatches scheduled (panic, circuit open)
+	CtrJobRequeues     = "service.requeues"         // cause-driven requeues of transient hang verdicts
+	CtrBreakerTrips    = "service.breaker_trips"    // shard circuit breakers tripped open
+	CtrJournalAppends  = "service.journal_appends"  // admission/verdict journal records written
+	CtrJournalErrors   = "service.journal_errors"   // journal append failures
+	CtrDeadlineExpired = "service.deadline_expired" // jobs failed by the per-job deadline
 )
 
 // Admission errors. The server maps these onto wire error strings;
@@ -78,6 +87,11 @@ var (
 	ErrDuplicate = errors.New("service: duplicate job id")
 	// ErrNotStream rejects samples fed to a simulation job.
 	ErrNotStream = errors.New("service: job is not a stream job")
+	// ErrJournal rejects a submission whose admission record could not
+	// be journaled — the journal-before-ack invariant forbids telling
+	// the client "accepted" when a crash right now would lose the job.
+	// The job is withdrawn from the pipeline; the client may retry.
+	ErrJournal = errors.New("service: admission journal append failed")
 )
 
 // Config tunes a Service. The zero value selects serviceable defaults.
@@ -117,6 +131,36 @@ type Config struct {
 	// fail the verdict itself; the sink's lifecycle belongs to the
 	// caller (close it after Drain).
 	Sink results.Sink
+
+	// Journal, when non-nil, is the durable admission journal: every
+	// accepted job is appended before the client sees success
+	// (journal-before-ack; a failed append withdraws the job and
+	// returns ErrJournal), and every verdict is appended before it
+	// reaches Sink. Recover replays a Reader over the same records to
+	// survive a crash with exactly-once verdicts. Use results.OpenJSONL
+	// for a plain file journal or a ledger.Ledger for a tamper-evident
+	// one; the sink's lifecycle belongs to the caller (close after
+	// Drain).
+	Journal results.Sink
+	// Retry is the supervisor's requeue policy for transient outcomes —
+	// panicked workers, open shard circuits, and hang verdicts whose
+	// wait-for cause is plausibly transient (straggler chains, lost
+	// messages, unknown). Structural causes (deadlock, collective
+	// mismatch) are never requeued. The zero value never requeues.
+	Retry RetryPolicy
+	// JobDeadline, when positive, bounds each simulation job's
+	// admission-to-verdict time; on expiry the job is failed in place
+	// ("job deadline exceeded") even if its run is still wedged on a
+	// worker. Stream jobs — externally paced by their feeders — are
+	// exempt.
+	JobDeadline time.Duration
+	// BreakerThreshold is the consecutive-run-failure count that trips
+	// one shard's circuit breaker open (0 = 5, negative = breakers
+	// disabled).
+	BreakerThreshold int
+	// BreakerCooldown is how long a tripped breaker stays open before
+	// admitting a half-open probe (0 = 5s).
+	BreakerCooldown time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -150,6 +194,13 @@ func (c Config) withDefaults() Config {
 	if c.Recorder == nil {
 		c.Recorder = obs.New(nil)
 	}
+	c.Retry = c.Retry.withDefaults()
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = 5
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 5 * time.Second
+	}
 	return c
 }
 
@@ -165,6 +216,15 @@ type job struct {
 	enq        time.Time
 	dispatched time.Time
 
+	// Supervision state, guarded by Service.mu.
+	attempt    int         // finished dispatch attempts
+	last       Verdict     // latest attempt's outcome (final if retries are cut short)
+	hasLast    bool        // last is meaningful
+	retryTimer *time.Timer // pending backoff requeue, nil otherwise
+	deadline   *time.Timer // per-job deadline, nil when unbounded
+	recovered  bool        // re-admitted by Recover (admit already journaled)
+	withdrawn  bool        // journal-before-ack failed: skip dispatch, record no verdict
+
 	done    chan struct{} // closed when the verdict lands
 	verdict Verdict
 }
@@ -173,16 +233,19 @@ type job struct {
 // feed with Submit/Feed, query with Verdict/Verdicts, and shut down
 // with Drain (graceful) or Close.
 type Service struct {
-	cfg     Config
-	pool    *sweep.Pool
-	batcher *batcher
-	shards  []chan envelope
-	shardWG sync.WaitGroup
+	cfg      Config
+	pool     *sweep.Pool
+	batcher  *batcher
+	shards   []chan envelope
+	shardWG  sync.WaitGroup
+	breakers []*breaker
+	journal  *journal // nil when Config.Journal is nil
 
 	mu       sync.Mutex
 	jobs     map[string]*job // resident (undecided) jobs
 	decided  map[string]*job // jobs with a verdict
-	order    []string        // admission order of decided jobs
+	order    []string        // decision order of decided jobs
+	nextSeq  int64           // next verdict Seq (monotone; recovery advances it)
 	resident int
 	draining bool
 
@@ -198,7 +261,11 @@ func New(cfg Config) *Service {
 		cfg:     cfg,
 		jobs:    make(map[string]*job),
 		decided: make(map[string]*job),
+		nextSeq: 1,
 		rec:     cfg.Recorder,
+	}
+	if cfg.Journal != nil {
+		s.journal = &journal{sink: cfg.Journal}
 	}
 	s.pool = sweep.NewPool(sweep.Options{
 		Workers:  cfg.Workers,
@@ -206,11 +273,12 @@ func New(cfg Config) *Service {
 		Recorder: obs.New(nil), // pool counters are internal; service counters are the surface
 		Run:      cfg.Run,
 	})
+	s.breakers = newBreakers(cfg.Shards, cfg.BreakerThreshold, cfg.BreakerCooldown)
 	s.shards = make([]chan envelope, cfg.Shards)
 	for i := range s.shards {
 		s.shards[i] = make(chan envelope, cfg.ShardDepth)
 		s.shardWG.Add(1)
-		go s.shardLoop(s.shards[i])
+		go s.shardLoop(i, s.shards[i])
 	}
 	s.batcher = newBatcher(cfg.IngestDepth, cfg.BatchSize, cfg.BatchDelay, s.route)
 	return s
@@ -230,9 +298,12 @@ func (s *Service) Counters() obs.Snapshot {
 	return s.rec.Snapshot()
 }
 
-// Submit validates and admits one job. On return the job is resident:
-// it WILL receive a verdict (success, failure, or — for stream jobs —
-// a drain-time close-out). Errors mean the job was not admitted.
+// Submit validates and admits one job. On return the job is resident
+// AND — when a journal is configured — durably journaled: it WILL
+// receive a verdict (success, failure, or — for stream jobs — a
+// drain-time close-out), and a daemon crash before that verdict leaves
+// an open journal entry Recover re-runs. Errors mean the job was not
+// admitted (an ErrJournal submission is withdrawn before dispatch).
 func (s *Service) Submit(js JobSpec) error {
 	if js.ID == "" {
 		s.count(CtrJobsRejected, 1)
@@ -277,8 +348,40 @@ func (s *Service) Submit(js JobSpec) error {
 	s.jobs[js.ID] = j
 	s.resident++
 	s.mu.Unlock()
+
+	// Journal-before-ack: the admit record must be durable before the
+	// client hears "accepted". On append failure the job is withdrawn —
+	// pulled back out of residency and skipped by its shard — so the
+	// rejection the client sees is the truth.
+	if s.journal != nil {
+		if err := s.journal.admit(js); err != nil {
+			s.mu.Lock()
+			j.withdrawn = true
+			delete(s.jobs, js.ID)
+			s.resident--
+			s.mu.Unlock()
+			s.count(CtrJournalErrors, 1)
+			s.count(CtrJobsRejected, 1)
+			return fmt.Errorf("%w: %v", ErrJournal, err)
+		}
+		s.count(CtrJournalAppends, 1)
+	}
+	s.armDeadline(j)
 	s.count(CtrJobsAdmitted, 1)
 	return nil
+}
+
+// armDeadline starts j's per-job deadline timer (simulation jobs only;
+// stream jobs are externally paced).
+func (s *Service) armDeadline(j *job) {
+	if s.cfg.JobDeadline <= 0 || j.mon != nil {
+		return
+	}
+	s.mu.Lock()
+	if !j.isDecided() && !j.withdrawn {
+		j.deadline = time.AfterFunc(s.cfg.JobDeadline, func() { s.expire(j) })
+	}
+	s.mu.Unlock()
 }
 
 // Feed ingests Scrout samples for a resident stream job. Samples are
@@ -345,27 +448,31 @@ func shardOf(id string, shards int) int {
 
 // shardLoop drains one shard queue: dispatching simulation jobs to the
 // worker pool (blocking while all workers are busy — the pool's
-// backpressure) and feeding stream samples to their monitors.
-func (s *Service) shardLoop(q chan envelope) {
+// backpressure) and feeding stream samples to their monitors. Each
+// dispatch goes through the shard's circuit breaker and, on
+// completion, the supervisor's retry policy (supervisor.go).
+func (s *Service) shardLoop(idx int, q chan envelope) {
 	defer s.shardWG.Done()
 	for e := range q {
 		j := e.j
+		s.mu.Lock()
+		skip := j.withdrawn || j.isDecided()
+		if !skip && e.samples == nil {
+			j.dispatched = time.Now()
+		}
+		s.mu.Unlock()
+		if skip {
+			continue
+		}
 		if e.samples != nil {
 			s.feedShard(j, e.samples)
 			continue
 		}
-		j.dispatched = time.Now()
 		if j.mon != nil {
 			// Stream job: attached, now fed by later envelopes.
 			continue
 		}
-		s.pool.Submit(sweep.Task{Key: j.key, Config: j.rc}, func(rec sweep.Record) {
-			v := Verdict{JobID: j.spec.ID, Key: j.key, Status: VerdictFailed, Error: rec.Error}
-			if rec.Status == sweep.StatusOK && rec.Result != nil {
-				v = verdictFromResult(j.spec.ID, j.key, rec.Result)
-			}
-			s.decide(j, v)
-		})
+		s.dispatch(idx, j)
 	}
 }
 
@@ -402,20 +509,39 @@ func (j *job) isDecided() bool {
 }
 
 // decide records a job's verdict, moves it out of residency, wakes
-// waiters, and streams the verdict to the results sink (if one is
-// configured). Seq — the /verdicts pagination cursor — is assigned
-// here, under the same lock that fixes the decision order, so cursors
-// and decision order can never disagree.
-func (s *Service) decide(j *job, v Verdict) {
-	if !j.dispatched.IsZero() {
-		v.IngestUS = j.dispatched.Sub(j.enq).Microseconds()
-	}
+// waiters, journals the close-out, and streams the verdict to the
+// results sink (if one is configured) — in that order: a verdict that
+// reached the sink is always also in the journal, which is what makes
+// a crash between the two recoverable exactly-once. Seq — the
+// /verdicts pagination cursor — is assigned here, under the same lock
+// that fixes the decision order, so cursors and decision order can
+// never disagree. install carries a recovery verdict's journaled Seq
+// through unchanged.
+func (s *Service) decide(j *job, v Verdict) { s.install(j, v, false) }
+
+func (s *Service) install(j *job, v Verdict, keepSeq bool) {
 	s.mu.Lock()
-	if j.isDecided() {
+	if j.isDecided() || j.withdrawn {
 		s.mu.Unlock()
 		return
 	}
-	v.Seq = int64(len(s.order) + 1)
+	if !keepSeq {
+		if !j.dispatched.IsZero() {
+			v.IngestUS = j.dispatched.Sub(j.enq).Microseconds()
+		}
+		v.Seq = s.nextSeq
+	}
+	if v.Seq >= s.nextSeq {
+		s.nextSeq = v.Seq + 1
+	}
+	if j.retryTimer != nil {
+		j.retryTimer.Stop()
+		j.retryTimer = nil
+	}
+	if j.deadline != nil {
+		j.deadline.Stop()
+		j.deadline = nil
+	}
 	j.verdict = v
 	delete(s.jobs, j.spec.ID)
 	s.decided[j.spec.ID] = j
@@ -427,6 +553,17 @@ func (s *Service) decide(j *job, v Verdict) {
 		s.count(CtrJobsFailed, 1)
 	} else {
 		s.count(CtrJobsCompleted, 1)
+	}
+	// Journal the verdict before the sink sees it (see the ordering
+	// argument above). A journal append failure is counted but does not
+	// block the verdict: the job stays open in the journal and a
+	// post-crash recovery re-runs it to the same (deterministic) answer.
+	if s.journal != nil && !keepSeq {
+		if err := s.journal.verdict(v); err != nil {
+			s.count(CtrJournalErrors, 1)
+		} else {
+			s.count(CtrJournalAppends, 1)
+		}
 	}
 	if s.cfg.Sink != nil {
 		if err := s.appendVerdict(v); err != nil {
@@ -510,9 +647,12 @@ const (
 
 // VerdictsPage returns up to limit decided verdicts with Seq > after,
 // in decision order, plus whether more remain. Seq is assigned at
-// decision time and is dense (1, 2, 3, …), so a scraper pages with
-// after = the last verdict's Seq. limit outside (0, MaxVerdictsLimit]
-// selects DefaultVerdictsLimit or the cap respectively.
+// decision time and is strictly increasing along the decision order —
+// dense in an uninterrupted run, possibly sparse after a crash
+// recovery (recovered verdicts keep their pre-crash Seqs) — so a
+// scraper pages with after = the last verdict's Seq regardless. limit
+// outside (0, MaxVerdictsLimit] selects DefaultVerdictsLimit or the
+// cap respectively.
 func (s *Service) VerdictsPage(after int64, limit int) ([]Verdict, bool) {
 	if limit <= 0 {
 		limit = DefaultVerdictsLimit
@@ -521,13 +661,12 @@ func (s *Service) VerdictsPage(after int64, limit int) ([]Verdict, bool) {
 		limit = MaxVerdictsLimit
 	}
 	s.mu.Lock()
-	start := int(after)
-	if after < 0 {
-		start = 0
-	}
-	if start > len(s.order) {
-		start = len(s.order)
-	}
+	// Seqs increase along s.order (recovery installs its replayed
+	// verdicts in Seq order before any new decision), so the first
+	// verdict with Seq > after is found by binary search.
+	start := sort.Search(len(s.order), func(i int) bool {
+		return s.decided[s.order[i]].verdict.Seq > after
+	})
 	end := start + limit
 	if end > len(s.order) {
 		end = len(s.order)
@@ -555,11 +694,15 @@ func (s *Service) Pending() []string {
 }
 
 // Drain performs a graceful shutdown: stop admitting, flush the
-// batcher, drain every shard queue, wait for every in-flight run, and
-// close out still-undecided stream jobs with a no-hang verdict — so
-// after Drain returns, every job ever admitted has a queryable verdict.
-// The context bounds the wait; on expiry the pipeline keeps draining in
-// the background but Drain returns ctx.Err().
+// batcher, drain every shard queue, wait for every in-flight run,
+// finalize retry-parked jobs with their latest outcome, and close out
+// still-undecided stream jobs with a no-hang verdict — so after Drain
+// returns nil, every job ever admitted has a queryable verdict. The
+// context is the hard drain deadline: on expiry the pipeline keeps
+// draining in the background, but the still-undecided jobs are flushed
+// to the admission journal as open entries (recoverable on restart)
+// and Drain returns a *DrainTimeoutError naming them — the caller
+// should exit nonzero.
 func (s *Service) Drain(ctx context.Context) error {
 	s.mu.Lock()
 	if s.draining {
@@ -578,6 +721,24 @@ func (s *Service) Drain(ctx context.Context) error {
 		}
 		s.shardWG.Wait()
 		s.pool.Close()
+		// Finalize jobs parked on a retry backoff: no more attempts are
+		// coming, so their latest outcome is the final answer.
+		s.mu.Lock()
+		var parked []*job
+		for _, j := range s.jobs {
+			if j.hasLast && j.mon == nil {
+				if j.retryTimer != nil {
+					j.retryTimer.Stop()
+					j.retryTimer = nil
+				}
+				parked = append(parked, j)
+			}
+		}
+		s.mu.Unlock()
+		sort.Slice(parked, func(a, b int) bool { return parked[a].spec.ID < parked[b].spec.ID })
+		for _, j := range parked {
+			s.decide(j, j.last)
+		}
 		// Close out stream jobs that never fired: their feeders are
 		// gone; "no hang observed over N samples" is the final answer.
 		s.mu.Lock()
@@ -603,7 +764,15 @@ func (s *Service) Drain(ctx context.Context) error {
 	case <-done:
 		return nil
 	case <-ctx.Done():
-		return ctx.Err()
+		// Hard deadline: the stragglers' admit records are already in
+		// the journal (journal-before-ack) with no verdict, i.e. open.
+		// Force the journal durable so a restart recovers them, and name
+		// them in the error.
+		stragglers := s.Pending()
+		if s.journal != nil {
+			_ = s.journal.flush()
+		}
+		return &DrainTimeoutError{Stragglers: stragglers, Cause: ctx.Err()}
 	}
 }
 
