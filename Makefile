@@ -30,10 +30,13 @@ bench:
 
 # Regenerate the checked-in performance artifacts: ns/op, allocs/op and
 # events/sec for the engine/monitor/campaign hot paths
-# (BENCH_engine.json), for the rank-count scaling sweep, 256 → 16384
-# ranks (BENCH_scale.json), and for the parastackd daemon pipeline —
-# jobs/sec, p99 ingest latency, stream samples/sec (BENCH_service.json).
-# See the "Benchmarks" section of README.md for the schema.
+# (BENCH_engine.json), for the rank-count scaling sweep — serial and
+# windowed parallel rows, 256 → 131072 ranks, every events/sec figure
+# averaged over at least three full runs (BENCH_scale.json) — and for
+# the parastackd daemon pipeline — jobs/sec, p99 ingest latency, stream
+# samples/sec (BENCH_service.json). The big scale rows take minutes
+# each; expect a ~15 minute wall time. See the "Benchmarks" section of
+# README.md for the schema.
 bench-json:
 	$(GO) run ./cmd/psbench -bench-json BENCH_engine.json -bench-scale-json BENCH_scale.json -bench-service-json BENCH_service.json
 
@@ -43,12 +46,16 @@ bench-smoke:
 	$(GO) test -run=^$$ -bench=. -benchtime=1x ./...
 
 # Scaling-pass gate: a reduced rank sweep asserting events/sec does not
-# collapse with world size, plus the steady-state allocation ceilings
-# on the campaign reuse path (see internal/bench/scale_test.go and
-# internal/experiment/runner_test.go).
+# collapse with world size, the steady-state allocation ceilings on the
+# campaign reuse path (see internal/bench/scale_test.go and
+# internal/experiment/runner_test.go), and — under the race detector —
+# the serial-vs-parallel bit-identity smoke at a rank-grouped world
+# size (clean + faulty runs must match the serial engine bit for bit
+# across Parallel=1 and Parallel=4; see parallel_smoke_test.go).
 bench-scale-smoke:
 	$(GO) test -run 'TestScaleSmoke$$|TestFaultyRunAllocCeiling$$' -count=1 -v ./internal/bench
 	$(GO) test -run 'TestRunnerSteadyStateAllocs$$' -count=1 -v ./internal/experiment
+	$(GO) test -race -run 'TestScaleParallelBitIdentitySmoke$$' -count=1 -v ./internal/bench
 
 # Kill-and-resume check on the tiny built-in grid: run half the sweep
 # (-halt-after is the deterministic crash stand-in), then resume and

@@ -27,7 +27,9 @@
 // -bench-json FILE runs the fixed engine/monitor/campaign
 // microbenchmark suite and writes the measurements (ns/op, allocs/op,
 // events/sec) to FILE; -bench-scale-json FILE does the same for the
-// rank-count scaling sweep (256 → 16384 ranks); -bench-service-json
+// rank-count scaling sweep (256 → 131072 ranks, each size measured on
+// the serial engine and in windowed parallel-DES mode, every figure
+// averaged over at least three full runs); -bench-service-json
 // FILE does the same for the parastackd service suite (jobs/sec, p99
 // ingest latency, stream samples/sec). See the "Benchmarks" section of
 // README.md for the schema. `make bench-json` regenerates the
@@ -238,7 +240,7 @@ func runBenchServiceJSON(path string) error {
 // artifact, and echoes a human-readable summary to stdout.
 func runBenchScaleJSON(path string) error {
 	start := time.Now()
-	fmt.Printf("running rank-count scaling suite (the 16384-rank point takes a few seconds per run)...\n")
+	fmt.Printf("running rank-count scaling suite (serial + parallel rows to 131072 ranks; the biggest points take minutes per row)...\n")
 	rep := bench.RunScaleSuite()
 	f, err := os.Create(path)
 	if err != nil {

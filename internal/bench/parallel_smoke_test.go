@@ -1,0 +1,61 @@
+package bench
+
+import (
+	"reflect"
+	"testing"
+
+	"parastack/internal/core"
+	"parastack/internal/experiment"
+	"parastack/internal/fault"
+	"parastack/internal/noise"
+	"parastack/internal/obs"
+)
+
+// TestScaleParallelBitIdentitySmoke is the CI-sized serial-vs-parallel
+// equivalence gate on the *scale* workload shape (`make
+// bench-scale-smoke`, run under -race). It complements the experiment
+// package's full golden-grid gate with the one thing that grid cannot
+// see: rank-group sharding. The golden worlds are 32 ranks — one rank
+// per shard — whereas 512 ranks exceeds sim's shard budget, so here
+// consecutive ranks share shards and the windowed executor runs long
+// same-shard event chains. A clean run and a faulty run must both be
+// bit-identical across serial, windowed (Parallel=1), and multi-worker
+// (Parallel=4) execution.
+func TestScaleParallelBitIdentitySmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full simulations; skipped in -short")
+	}
+	p := scaleParams(512)
+	p.Iters = 10
+	serial := experiment.NewRunner()
+	windowed := experiment.NewRunner()
+	workers := experiment.NewRunner()
+	for _, kind := range []fault.Kind{fault.None, fault.ComputationHang} {
+		rc := experiment.RunConfig{
+			Params:    p,
+			Platform:  noise.Tardis(),
+			PPN:       8,
+			Seed:      1,
+			FaultKind: kind,
+			Monitor:   &core.Config{},
+		}
+		want := serial.Run(rc)
+		want.Metrics = obs.Snapshot{} // counter totals are mode-dependent by design
+
+		rc.Parallel = 1
+		got := windowed.Run(rc)
+		got.Metrics = obs.Snapshot{}
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("kind=%v: windowed (Parallel=1) diverged from serial at 512 ranks\nserial:   %+v\nwindowed: %+v",
+				kind, want, got)
+		}
+
+		rc.Parallel = 4
+		got = workers.Run(rc)
+		got.Metrics = obs.Snapshot{}
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("kind=%v: windowed (Parallel=4) diverged from serial at 512 ranks\nserial:  %+v\nworkers: %+v",
+				kind, want, got)
+		}
+	}
+}

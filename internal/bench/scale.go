@@ -3,11 +3,18 @@
 // Each benchmark runs one clean CG-style campaign step — halo exchanges
 // plus synchronization-like Allreduces with the ParaStack monitor
 // attached — at a fixed per-rank workload while the world size sweeps
-// 256 → 16384 ranks. Per-rank work is constant, so events_per_sec
+// 256 → 131072 ranks. Per-rank work is constant, so events_per_sec
 // across the sweep is the scaling story: flat means the simulator's
 // per-event cost is independent of N (batched collective wakeups keep
 // the event queue at O(live timers), not O(N) per collective), while a
 // collapse at large N would point at a super-linear hot path.
+//
+// Every world size is measured twice: on the serial engine and in
+// windowed parallel-DES mode (experiment.RunConfig.Parallel = 1 — one
+// chain of lookahead windows; see internal/sim). The paired rows are
+// the serial-vs-parallel comparison: both modes produce bit-identical
+// results (gated by TestSerialParallelBitIdentical and the scale
+// smoke), so any events/sec difference is pure executor overhead.
 package bench
 
 import (
@@ -15,7 +22,6 @@ import (
 	"fmt"
 	"io"
 	"runtime"
-	"testing"
 	"time"
 
 	"parastack/internal/core"
@@ -25,7 +31,7 @@ import (
 )
 
 // ScaleRankCounts is the world-size sweep of the scaling suite.
-var ScaleRankCounts = []int{256, 1024, 4096, 16384}
+var ScaleRankCounts = []int{256, 1024, 4096, 16384, 65536, 131072}
 
 // scaleParams builds the fixed per-rank workload at world size ranks:
 // a short CG-style run (30 iterations of 20ms compute + 8KB halos)
@@ -39,52 +45,40 @@ func scaleParams(ranks int) workload.Params {
 	return p
 }
 
-// benchScaleRun benchmarks one clean monitored run at the given world
-// size, through the same Runner reuse path campaigns use.
-func benchScaleRun(ranks int) func(*testing.B) {
-	return func(b *testing.B) {
-		p := scaleParams(ranks)
-		rn := experiment.NewRunner()
-		var events uint64
-		b.ResetTimer()
-		for i := 0; i < b.N; i++ {
-			res := rn.Run(experiment.RunConfig{
-				Params:   p,
-				Platform: noise.Tardis(),
-				PPN:      8,
-				Seed:     int64(i + 1),
-				Monitor:  &core.Config{},
-			})
-			events += res.Events
-		}
-		b.StopTimer()
-		campaignEvents = float64(events) / float64(b.N)
+// ScaleName is the stable benchmark identifier for a rank count and
+// executor mode (workers == 0 is the serial engine).
+func ScaleName(ranks, workers int) string {
+	name := fmt.Sprintf("scale/clean_run_%d_ranks", ranks)
+	if workers > 0 {
+		name += "_parallel"
 	}
+	return name
 }
 
-// ScaleName is the stable benchmark identifier for a rank count.
-func ScaleName(ranks int) string { return fmt.Sprintf("scale/clean_run_%d_ranks", ranks) }
-
-// measureScale benchmarks one rank count and assembles its Result.
-func measureScale(ranks int) Result {
-	campaignEvents = 0
-	r := testing.Benchmark(benchScaleRun(ranks))
-	res := Result{
-		Name:        ScaleName(ranks),
-		Iterations:  r.N,
-		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
-		BytesPerOp:  r.AllocedBytesPerOp(),
-		AllocsPerOp: r.AllocsPerOp(),
-		Ranks:       ranks,
-	}
-	if res.NsPerOp > 0 {
-		res.EventsPerSec = campaignEvents * 1e9 / res.NsPerOp
-	}
+// measureScale measures one (rank count, executor mode) cell of the
+// sweep: clean monitored runs through the same Runner reuse path
+// campaigns use, averaged by measureRun over at least three runs.
+func measureScale(ranks, workers int) Result {
+	p := scaleParams(ranks)
+	rn := experiment.NewRunner()
+	res := measureRun(ScaleName(ranks, workers), func(i int) uint64 {
+		r := rn.Run(experiment.RunConfig{
+			Params:   p,
+			Platform: noise.Tardis(),
+			PPN:      8,
+			Seed:     int64(i + 1),
+			Monitor:  &core.Config{},
+			Parallel: workers,
+		})
+		return r.Events
+	})
+	res.Ranks = ranks
+	res.Parallel = workers
 	return res
 }
 
-// RunScaleSuite executes the rank-count sweep and assembles the report
-// written to BENCH_scale.json.
+// RunScaleSuite executes the rank-count sweep — serial and windowed
+// rows per size — and assembles the report written to BENCH_scale.json.
 func RunScaleSuite() Report {
 	rep := Report{
 		Schema:    SchemaVersion,
@@ -93,7 +87,8 @@ func RunScaleSuite() Report {
 		GOARCH:    runtime.GOARCH,
 	}
 	for _, n := range ScaleRankCounts {
-		rep.Benchmarks = append(rep.Benchmarks, measureScale(n))
+		rep.Benchmarks = append(rep.Benchmarks, measureScale(n, 0))
+		rep.Benchmarks = append(rep.Benchmarks, measureScale(n, 1))
 	}
 	return rep
 }

@@ -1,0 +1,65 @@
+package experiment
+
+import (
+	"reflect"
+	"testing"
+
+	"parastack/internal/core"
+	"parastack/internal/noise"
+	"parastack/internal/obs"
+)
+
+// stripModeSensitive zeroes the RunResult fields that legitimately
+// differ between execution modes. Metrics is the per-run counter
+// snapshot: the windowed engine accounts phantom inline sleeps and
+// window bookkeeping differently (engine.sleeps, engine.windows, …),
+// so counter totals are mode-dependent by design. Everything else —
+// verdicts, virtual timestamps, diagnosis, histories, and the fired
+// event total — must match bit-for-bit.
+func stripModeSensitive(r *RunResult) {
+	r.Metrics = obs.Snapshot{}
+}
+
+// TestSerialParallelBitIdentical is the equivalence gate for the
+// conservative windowed executor: the full golden grid (4 fault shapes
+// × 4 seeds) must produce RunResults bit-identical to the serial
+// engine under both windowed single-driver (Parallel=1) and
+// multi-worker (Parallel=4) execution. Any ordering leak — a latency
+// draw depending on execution order, a wake event stamped by the
+// wrong shard, a cross-window event landing inside a horizon — shows
+// up here as a timestamp or verdict diff.
+func TestSerialParallelBitIdentical(t *testing.T) {
+	serial := NewRunner()
+	windowed := NewRunner()
+	workers := NewRunner()
+	for _, kind := range goldenKinds {
+		for seed := int64(1); seed <= 4; seed++ {
+			rc := RunConfig{
+				Params:    smallParams(),
+				Platform:  noise.Tardis(),
+				PPN:       8,
+				Seed:      seed,
+				FaultKind: kind,
+				Monitor:   &core.Config{},
+			}
+			want := serial.Run(rc)
+			stripModeSensitive(&want)
+
+			rc.Parallel = 1
+			got := windowed.Run(rc)
+			stripModeSensitive(&got)
+			if !reflect.DeepEqual(want, got) {
+				t.Errorf("kind=%v seed=%d: windowed (Parallel=1) diverged from serial\nserial:   %+v\nwindowed: %+v",
+					kind, seed, want, got)
+			}
+
+			rc.Parallel = 4
+			got = workers.Run(rc)
+			stripModeSensitive(&got)
+			if !reflect.DeepEqual(want, got) {
+				t.Errorf("kind=%v seed=%d: windowed (Parallel=4) diverged from serial\nserial:  %+v\nworkers: %+v",
+					kind, seed, want, got)
+			}
+		}
+	}
+}

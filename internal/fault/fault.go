@@ -10,6 +10,7 @@ import (
 	"math/rand"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"parastack/internal/mpi"
@@ -161,6 +162,12 @@ func NewRandomPlan(rng *rand.Rand, kind Kind, size, iters, minIter, ppn int) Pla
 type Injector struct {
 	Plan
 
+	// mu guards the trigger record: a node-freeze has several victims,
+	// and under the windowed parallel engine they can hit Check from
+	// different worker goroutines inside one window. TriggeredAt is
+	// min-wins so the recorded instant is the earliest victim in
+	// virtual time, independent of execution order.
+	mu          sync.Mutex
 	triggered   bool
 	TriggeredAt time.Duration
 }
@@ -173,6 +180,8 @@ func (in *Injector) Triggered() (bool, time.Duration) {
 	if in == nil {
 		return false, 0
 	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
 	return in.triggered, in.TriggeredAt
 }
 
@@ -194,10 +203,13 @@ func (in *Injector) Check(r *mpi.Rank, iter int) {
 	if !victim {
 		return
 	}
-	if !in.triggered {
+	now := time.Duration(r.Now())
+	in.mu.Lock()
+	if !in.triggered || now < in.TriggeredAt {
 		in.triggered = true
-		in.TriggeredAt = time.Duration(r.Now())
+		in.TriggeredAt = now
 	}
+	in.mu.Unlock()
 	switch in.Kind {
 	case ComputationHang, NodeFreeze:
 		// Hang inside an application frame: OUT_MPI forever.

@@ -60,17 +60,31 @@ func (k CollKind) syncLike() bool {
 // collOp tracks one in-flight collective on one communicator, matched
 // across members by call sequence number (MPI orders collectives by
 // call order on the communicator). Indices are communicator ranks.
+// All fields are guarded by the communicator's mutex.
+//
+// The completion protocol is formulated so that every observable value
+// is a function of per-member virtual entry times and keyed random
+// draws alone — never of the real-time order in which members reach
+// the op. Members of one communicator live on different engine shards
+// and may enter during the same execution window in any wall order;
+// tracking the max entry time (and the root's entry time) makes the
+// computed release instants identical no matter who arrives "last" in
+// wall time, which is what keeps windowed runs bit-identical to serial
+// ones.
 type collOp struct {
 	kind  CollKind
 	root  int // communicator rank
 	bytes int
 
-	arrived  int
-	seen     []bool
-	waiters  []*sim.Proc // members suspended inside the op (pooled backing array)
-	rootHere bool
-	rootWait *sim.Proc // root suspended waiting for all (Gather/Reduce)
-	left     int       // members that have completed the op
+	arrived   int
+	maxEnter  sim.Time // max virtual entry time over arrived members
+	seen      []bool
+	waiters   []*sim.Proc // members suspended inside the op (pooled backing array)
+	wranks    []int       // comm ranks of waiters (rooted ops' per-waiter draws)
+	rootHere  bool
+	rootEnter sim.Time  // root's virtual entry time (rooted ops)
+	rootWait  *sim.Proc // root suspended waiting for all (Gather/Reduce)
+	left      int       // members that have completed the op
 }
 
 // getCollOp pops a pooled collective op (or allocates one) reset for a
@@ -78,24 +92,30 @@ type collOp struct {
 // is reused when large enough.
 func (w *World) getCollOp(kind CollKind, root, bytes, size int) *collOp {
 	var op *collOp
+	w.opMu.Lock()
 	if n := len(w.freeOps); n > 0 {
 		op = w.freeOps[n-1]
 		w.freeOps[n-1] = nil
 		w.freeOps = w.freeOps[:n-1]
-		op.kind, op.root, op.bytes = kind, root, bytes
-		op.arrived, op.left = 0, 0
-		op.rootHere, op.rootWait = false, nil
-		if cap(op.seen) >= size {
-			op.seen = op.seen[:size]
-			for i := range op.seen {
-				op.seen[i] = false
-			}
-		} else {
-			op.seen = make([]bool, size)
-		}
-		return op
 	}
-	return &collOp{kind: kind, root: root, bytes: bytes, seen: make([]bool, size)}
+	w.opMu.Unlock()
+	if op == nil {
+		return &collOp{kind: kind, root: root, bytes: bytes, seen: make([]bool, size)}
+	}
+	op.kind, op.root, op.bytes = kind, root, bytes
+	op.arrived, op.left = 0, 0
+	op.maxEnter, op.rootEnter = 0, 0
+	op.rootHere, op.rootWait = false, nil
+	op.wranks = op.wranks[:0]
+	if cap(op.seen) >= size {
+		op.seen = op.seen[:size]
+		for i := range op.seen {
+			op.seen[i] = false
+		}
+	} else {
+		op.seen = make([]bool, size)
+	}
+	return op
 }
 
 // putCollOp returns a finished (or torn-down) op to the pool. An op
@@ -109,31 +129,55 @@ func (w *World) putCollOp(op *collOp) {
 		op.waiters = nil
 	}
 	op.rootWait = nil
+	w.opMu.Lock()
 	w.freeOps = append(w.freeOps, op)
+	w.opMu.Unlock()
+}
+
+// collSalt keys collective latency draws apart from every other
+// derivation of the engine seed (rank streams use rankStreamSalt).
+const collSalt = 0x636c // "cl"
+
+// collDraw returns the keyed one-shot uniform for a collective latency:
+// a pure function of (engine seed, communicator, call sequence, salt),
+// so the draw is identical no matter which member happens to evaluate
+// it, or in which execution mode. Rooted collectives salt per waiter
+// (comm rank + 1); the op-wide draws use salt 0.
+func (c *Comm) collDraw(seq, salt uint64) sim.Fixed {
+	return sim.Fixed(sim.UniformFrom(uint64(c.w.eng.Seed()), collSalt, uint64(c.id), seq, salt))
 }
 
 // collective runs one collective call for member r of communicator c.
 // bytes is the per-rank payload size; root is a communicator rank. It
 // blocks according to the collective's dependence structure and charges
-// the latency model on completion.
+// the latency model on completion. All internal waits are raw
+// (penalty-free) absolute sleeps: tracing penalty is consumed only by
+// program-order computation sleeps, an accounting that cannot depend on
+// which member a wake happens to route through.
 func (c *Comm) collective(r *Rank, kind CollKind, root, bytes int) {
 	r.enterMPI(kind.String())
 	defer r.exitMPI()
 
 	me := c.RankOf(r)
 	w := c.w
+	size := c.Size()
+	now := r.proc.Now()
+
+	c.mu.Lock()
 	seq := c.collSeq[r.ID()]
 	c.collSeq[r.ID()]++
 	op, ok := c.colls[seq]
 	if !ok {
-		op = w.getCollOp(kind, root, bytes, c.Size())
+		op = w.getCollOp(kind, root, bytes, size)
 		c.colls[seq] = op
 	}
 	if op.kind != kind || op.root != root {
+		c.mu.Unlock()
 		panic(fmt.Sprintf("mpi: collective mismatch at seq %d: rank %d called %s(root=%d), expected %s(root=%d)",
 			seq, r.id, kind, root, op.kind, op.root))
 	}
 	if op.seen[me] {
+		c.mu.Unlock()
 		panic(fmt.Sprintf("mpi: rank %d entered collective seq %d twice", r.id, seq))
 	}
 	op.seen[me] = true
@@ -141,82 +185,125 @@ func (c *Comm) collective(r *Rank, kind CollKind, root, bytes int) {
 	if bytes > op.bytes {
 		op.bytes = bytes
 	}
-
-	size := c.Size()
-	rng := w.eng.Rand()
-	now := w.eng.Now()
-
-	finish := func() {
-		op.left++
-		if op.left == size {
-			delete(c.colls, seq)
-			w.putCollOp(op)
-		}
-	}
-	suspend := func() {
-		r.block = blockState{kind: BlockedCollective, seq: seq, comm: c, coll: kind}
-		r.proc.Suspend()
-		r.block = blockState{}
+	if now > op.maxEnter {
+		op.maxEnter = now
 	}
 
 	if op.kind.syncLike() {
 		if op.arrived == size {
-			// Last arriver releases everyone with one group-wake event:
-			// a single heap insertion regardless of communicator size.
-			releaseAt := now + w.lat.collective(rng, kind, op.bytes, size)
-			w.eng.WakeAllAt(releaseAt, op.waiters)
+			// Whole membership is in: the release instant is the latest
+			// entry plus one keyed draw — the same value any member would
+			// compute. This member fans out the wakes and waits to the
+			// same instant itself.
+			releaseAt := op.maxEnter + w.lat.collective(c.collDraw(seq, 0), kind, op.bytes, size)
+			r.proc.WakeAllAt(releaseAt, op.waiters)
 			op.waiters = nil // ownership passed to the engine
-			r.proc.Sleep(releaseAt - now)
+			c.mu.Unlock()
+			r.proc.SleepUntil(releaseAt)
 		} else {
 			if op.waiters == nil {
 				op.waiters = w.eng.GetProcSlice(size - 1)
 			}
 			op.waiters = append(op.waiters, r.proc)
-			suspend()
+			r.block = blockState{kind: BlockedCollective, seq: seq, comm: c, coll: kind}
+			c.mu.Unlock()
+			r.proc.Suspend()
+			r.block = blockState{}
 		}
-		finish()
+		c.mu.Lock()
+		c.finishLocked(seq, op)
+		c.mu.Unlock()
 		return
 	}
 
 	switch kind {
 	case CollBcast, CollScatter:
 		// Non-roots depend on the root; the root leaves immediately
-		// after injecting its payload.
+		// after injecting its payload. A waiter's release instant is
+		// max(its entry, the root's entry) plus its own keyed draw —
+		// computed identically whether the waiter found the root already
+		// present or is released by the root's fan-out below.
 		if me == root {
 			op.rootHere = true
-			releaseAt := now + w.lat.collective(rng, kind, op.bytes, size)
-			w.eng.WakeAllAt(releaseAt, op.waiters)
-			op.waiters = nil // ownership passed to the engine
+			op.rootEnter = now
+			for i, q := range op.waiters {
+				at := q.Now() // waiter's entry time; frozen while it is parked
+				if at < now {
+					at = now
+				}
+				at += w.lat.collective(c.collDraw(seq, uint64(op.wranks[i])+1), kind, op.bytes, size)
+				r.proc.WakePeerAt(q, at)
+			}
+			if op.waiters != nil {
+				w.eng.PutProcSlice(op.waiters)
+				op.waiters = nil
+			}
+			op.wranks = op.wranks[:0]
+			c.mu.Unlock()
 			r.proc.Sleep(w.lat.SendOverhead)
 		} else if op.rootHere {
-			r.proc.Sleep(w.lat.collective(rng, kind, op.bytes, size))
+			at := now
+			if at < op.rootEnter {
+				at = op.rootEnter
+			}
+			at += w.lat.collective(c.collDraw(seq, uint64(me)+1), kind, op.bytes, size)
+			c.mu.Unlock()
+			r.proc.SleepUntil(at)
 		} else {
 			if op.waiters == nil {
 				op.waiters = w.eng.GetProcSlice(size - 1)
 			}
 			op.waiters = append(op.waiters, r.proc)
-			suspend()
+			op.wranks = append(op.wranks, me)
+			r.block = blockState{kind: BlockedCollective, seq: seq, comm: c, coll: kind}
+			c.mu.Unlock()
+			r.proc.Suspend()
+			r.block = blockState{}
 		}
-		finish()
 	case CollGather, CollReduce:
-		// The root depends on everyone; non-roots deposit and leave.
+		// The root depends on everyone; non-roots deposit and leave. The
+		// root's release is the latest entry plus the op's keyed draw,
+		// identical whether the root computes it directly (everyone was
+		// in when it arrived) or the final depositor computes it for the
+		// suspended root.
 		if me == root {
 			if op.arrived == size {
-				r.proc.Sleep(w.lat.collective(rng, kind, op.bytes, size))
+				at := op.maxEnter + w.lat.collective(c.collDraw(seq, 0), kind, op.bytes, size)
+				c.mu.Unlock()
+				r.proc.SleepUntil(at)
 			} else {
 				op.rootWait = r.proc
-				suspend()
+				r.block = blockState{kind: BlockedCollective, seq: seq, comm: c, coll: kind}
+				c.mu.Unlock()
+				r.proc.Suspend()
+				r.block = blockState{}
 			}
 		} else {
 			if op.rootWait != nil && op.arrived == size {
-				op.rootWait.WakeAt(now + w.lat.collective(rng, kind, op.bytes, size))
+				at := op.maxEnter + w.lat.collective(c.collDraw(seq, 0), kind, op.bytes, size)
+				r.proc.WakePeerAt(op.rootWait, at)
 				op.rootWait = nil
 			}
+			c.mu.Unlock()
 			r.proc.Sleep(w.lat.SendOverhead)
 		}
-		finish()
 	default:
+		c.mu.Unlock()
 		panic("mpi: unhandled collective kind " + kind.String())
+	}
+
+	c.mu.Lock()
+	c.finishLocked(seq, op)
+	c.mu.Unlock()
+}
+
+// finishLocked records one member's exit from op; the last exit retires
+// the op. Callers hold c.mu.
+func (c *Comm) finishLocked(seq uint64, op *collOp) {
+	op.left++
+	if op.left == c.Size() {
+		delete(c.colls, seq)
+		c.w.putCollOp(op)
 	}
 }
 
@@ -276,6 +363,7 @@ func (r *Rank) DesyncCollective(kind CollKind) {
 	me := c.RankOf(r)
 	seq := orphanSeqBase + uint64(r.id)
 	op := r.w.getCollOp(kind, 0, 0, c.Size())
+	c.mu.Lock()
 	c.colls[seq] = op
 	op.seen[me] = true
 	op.arrived++
@@ -284,6 +372,7 @@ func (r *Rank) DesyncCollective(kind CollKind) {
 	}
 	op.waiters = append(op.waiters, r.proc)
 	r.block = blockState{kind: BlockedCollective, seq: seq, comm: c, coll: kind}
+	c.mu.Unlock()
 	r.proc.Suspend()                          // never woken; World.Reset reclaims the op
 	panic("mpi: desynced collective resumed") // unreachable unless a bug wakes it
 }

@@ -3,6 +3,7 @@ package mpi
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // Comm is a communicator: an ordered subset of the world's ranks with
@@ -17,6 +18,10 @@ type Comm struct {
 	ranks []int       // members as world ranks, in communicator order
 	index map[int]int // world rank → comm rank
 
+	// mu guards the collective-matching state below (and every collOp
+	// reached through colls): members live on different engine shards
+	// and can enter collectives concurrently in a multi-worker window.
+	mu      sync.Mutex
 	colls   map[uint64]*collOp
 	collSeq []uint64 // per member call counter, indexed by world rank
 }

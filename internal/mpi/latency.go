@@ -2,8 +2,9 @@ package mpi
 
 import (
 	"math"
-	"math/rand"
 	"time"
+
+	"parastack/internal/sim"
 )
 
 // Latency models the time cost of simulated communication. All fields
@@ -64,27 +65,51 @@ func (l Latency) WithDefaults() Latency {
 	return l
 }
 
+// Lookahead returns a strict lower bound on the virtual-time distance
+// between an action of one rank and its earliest possible effect on
+// another rank under this model: every cross-rank interaction — a
+// point-to-point delivery (≥ Base) or a collective release (≥ one
+// CollBase tree level) — pays at least the smaller of the two base
+// latencies, derated by the worst-case jitter draw. This is the bound
+// that licenses the engine's conservative windowed execution
+// (sim.Engine.SetLookahead): rank groups can run independently for one
+// lookahead without any possibility of interacting. A model with
+// Jitter >= 1 has no usable bound and returns 0, which disables
+// windowed execution.
+func (l Latency) Lookahead() time.Duration {
+	min := l.Base
+	if l.CollBase < min {
+		min = l.CollBase
+	}
+	lo := time.Duration(float64(min) * (1 - l.Jitter))
+	if lo <= 0 {
+		return 0
+	}
+	// One-nanosecond guard for float truncation in jittered().
+	return lo - 1
+}
+
 // jittered scales d by a uniform factor in [1-Jitter, 1+Jitter].
-func (l Latency) jittered(rng *rand.Rand, d time.Duration) time.Duration {
+func (l Latency) jittered(u sim.Uniform, d time.Duration) time.Duration {
 	if l.Jitter <= 0 || d <= 0 {
 		return d
 	}
-	f := 1 + l.Jitter*(2*rng.Float64()-1)
+	f := 1 + l.Jitter*(2*u.Float64()-1)
 	return time.Duration(float64(d) * f)
 }
 
 // p2p returns the wire latency of a point-to-point message of the given
 // size.
-func (l Latency) p2p(rng *rand.Rand, bytes int) time.Duration {
+func (l Latency) p2p(u sim.Uniform, bytes int) time.Duration {
 	d := l.Base + time.Duration(float64(bytes)/l.BytesPerSec*float64(time.Second))
-	return l.jittered(rng, d)
+	return l.jittered(u, d)
 }
 
 // collective returns the completion latency of a collective after its
 // dependency condition is met: a log-depth tree term plus a bandwidth
 // term over the per-rank payload. Alltoall pays an additional factor
 // because every rank exchanges with every other.
-func (l Latency) collective(rng *rand.Rand, kind CollKind, bytes, size int) time.Duration {
+func (l Latency) collective(u sim.Uniform, kind CollKind, bytes, size int) time.Duration {
 	depth := math.Log2(float64(size))
 	if depth < 1 {
 		depth = 1
@@ -94,11 +119,11 @@ func (l Latency) collective(rng *rand.Rand, kind CollKind, bytes, size int) time
 	switch kind {
 	case CollAlltoall:
 		// Per-rank payload crosses the bisection; cost grows with size.
-		d += bw * time.Duration(int64(math.Max(1, depth)))
+		d += bw * time.Duration(int64(depth))
 	case CollBarrier:
 		// No payload.
 	default:
 		d += bw
 	}
-	return l.jittered(rng, d)
+	return l.jittered(u, d)
 }

@@ -18,12 +18,6 @@ type Request struct {
 	done   bool
 	msg    *message
 	waiter *sim.Proc // proc blocked in Wait on this request
-
-	// onComplete caches the complete method value so attach schedules
-	// its event without allocating a closure per message. It is built
-	// once per Request and survives pooling (it is bound to this struct,
-	// whose identity is stable across reuse).
-	onComplete func()
 }
 
 // Done reports whether the request has completed. Unlike Test, it does
@@ -31,9 +25,10 @@ type Request struct {
 // for assertions and observers.
 func (q *Request) Done() bool { return q.done }
 
-// complete marks the request done at the current virtual time and wakes
-// a waiter if one is parked in Wait.
-func (q *Request) complete() {
+// complete marks the request done at virtual time t and wakes a waiter
+// if one is parked in Wait. It always runs on the owning rank's shard
+// (the completion event is posted there), so the wake is shard-local.
+func (q *Request) complete(t sim.Time) {
 	if q.done {
 		panic("mpi: request completed twice")
 	}
@@ -44,7 +39,7 @@ func (q *Request) complete() {
 		// A Waitany waiter is registered on several requests; a sibling
 		// completion at the same instant may already have woken it.
 		if p.State() == sim.ProcSuspended {
-			p.Wake()
+			p.WakeAtLocal(t)
 		}
 	}
 }
@@ -73,28 +68,50 @@ func (r *Rank) Isend(dst, tag, bytes int) *Request {
 	return &Request{rank: r, done: true}
 }
 
-// startSend computes the arrival time and delivers the message to the
-// destination's matching engine.
+// startSend draws the wire latency from the sender's private stream,
+// clamps the arrival monotone per destination (MPI's non-overtaking
+// rule: jitter must not reorder two same-pair messages in flight), and
+// posts a delivery event to the destination rank's shard at the arrival
+// time. Matching happens at arrival, on the receiver's shard — the
+// cross-rank interaction is a timestamped event at now + p2p latency,
+// which is exactly the distance the latency model's Lookahead bound
+// promises the windowed engine.
 func (r *Rank) startSend(dst, tag, bytes int) {
 	if dst < 0 || dst >= len(r.w.ranks) {
 		panic(fmt.Sprintf("mpi: send to invalid rank %d", dst))
 	}
-	m := r.w.getMsg()
+	m := r.getMsg()
 	m.src = r.id
+	m.dst = dst
 	m.tag = tag
 	m.bytes = bytes
-	m.arriveAt = r.proc.Now() + r.w.lat.p2p(r.w.eng.Rand(), bytes)
+	at := r.proc.Now() + r.w.lat.p2p(&r.rng, bytes)
+	if r.lastArrive == nil {
+		r.lastArrive = make(map[int]sim.Time)
+	}
+	if last := r.lastArrive[dst]; at < last {
+		at = last
+	}
+	r.lastArrive[dst] = at
+	m.arriveAt = at
 	r.msgSeq++
-	r.w.ranks[dst].deliver(m)
+	r.proc.Post(r.w.ranks[dst].proc, at, r.w.deliverFn, m)
 }
 
-// deliver runs in the sender's context: match the message against the
-// destination's posted receives (in post order), or queue it as
-// unexpected.
-func (dst *Rank) deliver(m *message) {
+// deliverMsg is the shared delivery-event callback (see World.deliverFn):
+// it fires on the destination rank's shard at the message's arrival
+// time.
+func (w *World) deliverMsg(t sim.Time, arg any) {
+	m := arg.(*message)
+	w.ranks[m.dst].deliverArrived(t, m)
+}
+
+// deliverArrived matches an arrived message against the rank's posted
+// receives (in post order), or queues it as unexpected.
+func (dst *Rank) deliverArrived(t sim.Time, m *message) {
 	for _, q := range dst.posted[dst.postedHead:] {
 		if q != nil && q.msg == nil && q.matches(m) {
-			q.attach(m)
+			q.attach(t, m)
 			return
 		}
 	}
@@ -108,18 +125,24 @@ func (q *Request) matches(m *message) bool {
 }
 
 // attach binds a message to a receive request and schedules completion
-// at the message's arrival time (plus receive overhead).
-func (q *Request) attach(m *message) {
+// at the message's arrival time plus receive overhead (or now, if the
+// receive was posted after that instant passed). Both call sites — the
+// delivery event and the rank's own postRecv — execute on the owning
+// rank's shard, so the completion event is shard-local.
+func (q *Request) attach(now sim.Time, m *message) {
 	q.msg = m
-	if q.onComplete == nil {
-		q.onComplete = q.complete // one-time per Request; reused when pooled
+	r := q.rank
+	at := m.arriveAt + r.w.lat.RecvOverhead
+	if at < now {
+		at = now
 	}
-	eng := q.rank.w.eng
-	at := m.arriveAt + q.rank.w.lat.RecvOverhead
-	if at < eng.Now() {
-		at = eng.Now()
-	}
-	eng.At(at, q.onComplete)
+	r.proc.Post(r.proc, at, r.w.completeFn, q)
+}
+
+// completeReq is the shared completion-event callback (see
+// World.completeFn).
+func (w *World) completeReq(t sim.Time, arg any) {
+	arg.(*Request).complete(t)
 }
 
 // Irecv posts a non-blocking receive for (src, tag); use AnySource /
@@ -133,7 +156,7 @@ func (r *Rank) Irecv(src, tag int) *Request {
 }
 
 func (r *Rank) postRecv(src, tag int) *Request {
-	q := r.w.getReq()
+	q := r.getReq()
 	q.rank = r
 	q.isRecv = true
 	q.src = src
@@ -143,7 +166,7 @@ func (r *Rank) postRecv(src, tag int) *Request {
 		m := r.unexpected[i]
 		if m != nil && q.matches(m) {
 			r.consumeUnexpected(i)
-			q.attach(m)
+			q.attach(r.proc.Now(), m)
 			r.posted = append(r.posted, q)
 			return q
 		}
@@ -230,15 +253,15 @@ func (r *Rank) retire(q *Request) {
 }
 
 // release returns a retired, completed request — and its attached
-// message — to the world's pools. Only the internal blocking paths
+// message — to the rank's pools. Only the internal blocking paths
 // (Recv, SendRecv, Ssend) call it: their requests never escape to user
 // code, so no stale handle can observe the reuse. Requests returned by
 // Irecv/Isend are never released.
 func (r *Rank) release(q *Request) {
 	if q.msg != nil {
-		r.w.putMsg(q.msg)
+		r.putMsg(q.msg)
 	}
-	r.w.putReq(q)
+	r.putReq(q)
 }
 
 // Recv performs a blocking receive, returning the payload size of the
@@ -329,15 +352,15 @@ func (r *Rank) TestFor(q *Request, slice time.Duration) bool {
 }
 
 // Iprobe models MPI_Iprobe: check for a matching deliverable message
-// without consuming it. Only messages that have already arrived
-// (arrival time passed) are visible, as in a real progress engine.
+// without consuming it. The unexpected queue holds only messages whose
+// delivery event has fired, so everything in it has already arrived,
+// as in a real progress engine.
 func (r *Rank) Iprobe(src, tag int) bool {
 	r.enterMPI("MPI_Iprobe")
 	defer r.exitMPI()
 	r.proc.Sleep(r.w.lat.TestOverhead)
-	now := r.proc.Now()
 	for _, m := range r.unexpected[r.unexpectedHead:] {
-		if m != nil && m.arriveAt <= now &&
+		if m != nil &&
 			(src == AnySource || src == m.src) &&
 			(tag == AnyTag || tag == m.tag) {
 			return true

@@ -47,15 +47,11 @@ func (r *Rank) Probe(src, tag int) {
 	r.enterMPI("MPI_Probe")
 	defer r.exitMPI()
 	for {
-		now := r.proc.Now()
+		// Everything in the unexpected queue has arrived (delivery events
+		// fire at arrival time), so a match is immediately probe-visible.
 		for _, m := range r.unexpected[r.unexpectedHead:] {
 			if m != nil && (src == AnySource || src == m.src) &&
 				(tag == AnyTag || tag == m.tag) {
-				if m.arriveAt <= now {
-					return
-				}
-				// In flight: wait out its arrival.
-				r.proc.Sleep(m.arriveAt - now)
 				return
 			}
 		}

@@ -148,10 +148,15 @@ func TestWorldResetReclaimsLeftovers(t *testing.T) {
 	firstEvents := eng.EventsFired()
 	eng.Reset(3)
 	w.Reset(Latency{})
-	if got := len(w.freeReqs); got == 0 {
+	reqs, msgs := 0, 0
+	for _, r := range w.Ranks() {
+		reqs += len(r.freeReqs)
+		msgs += len(r.freeMsgs)
+	}
+	if reqs == 0 {
 		t.Error("Reset reclaimed no posted requests")
 	}
-	if got := len(w.freeMsgs); got == 0 {
+	if msgs == 0 {
 		t.Error("Reset reclaimed no messages")
 	}
 	if got := len(w.freeOps); got == 0 {

@@ -33,6 +33,28 @@ type Rank struct {
 
 	msgSeq uint64 // per-rank send sequence, for deterministic tie-breaks
 
+	// lastArrive clamps per-destination arrival times monotone so jitter
+	// cannot reorder two same-pair messages in flight (MPI's
+	// non-overtaking rule). Keyed by destination rank; halo patterns
+	// touch a handful of peers, so the map stays tiny.
+	lastArrive map[int]sim.Time
+
+	// rng is the rank's private random stream, seeded from
+	// (engine seed, rank id) at Launch. Drawing per-rank rather than
+	// from the engine's global stream makes every draw a function of the
+	// rank's own program order — independent of how rank executions
+	// interleave, which is what keeps windowed runs bit-identical to
+	// serial ones.
+	rng sim.Rng
+
+	// Per-rank object pools (see World.Reset for reclamation). Messages
+	// are allocated by the sender and released by the receiver, so pool
+	// populations drift between ranks but never leak; requests stay with
+	// their owner. Per-rank pools keep pool traffic off any shared lock
+	// during windowed execution.
+	freeMsgs []*message
+	freeReqs []*Request
+
 	block blockState // what the rank last suspended on (see introspect.go)
 
 	threads []*Thread // live worker threads of the current parallel region
@@ -42,10 +64,53 @@ type Rank struct {
 
 // message is a point-to-point message in flight or queued.
 type message struct {
-	src, tag int
-	bytes    int
-	arriveAt sim.Time
+	src, dst, tag int
+	bytes         int
+	arriveAt      sim.Time
 }
+
+// getMsg pops a pooled message (fields are fully overwritten by the
+// caller) or allocates one.
+func (r *Rank) getMsg() *message {
+	if n := len(r.freeMsgs); n > 0 {
+		m := r.freeMsgs[n-1]
+		r.freeMsgs[n-1] = nil
+		r.freeMsgs = r.freeMsgs[:n-1]
+		return m
+	}
+	return &message{}
+}
+
+// putMsg returns a consumed message to this rank's pool.
+func (r *Rank) putMsg(m *message) { r.freeMsgs = append(r.freeMsgs, m) }
+
+// getReq pops a pooled request or allocates one.
+func (r *Rank) getReq() *Request {
+	if n := len(r.freeReqs); n > 0 {
+		q := r.freeReqs[n-1]
+		r.freeReqs[n-1] = nil
+		r.freeReqs = r.freeReqs[:n-1]
+		return q
+	}
+	return &Request{}
+}
+
+// putReq returns a request to the rank's pool. The caller guarantees no
+// outside handle to it survives (see Rank.release).
+func (r *Rank) putReq(q *Request) {
+	q.rank = nil
+	q.isRecv = false
+	q.src, q.tag = 0, 0
+	q.done = false
+	q.msg = nil
+	q.waiter = nil
+	r.freeReqs = append(r.freeReqs, q)
+}
+
+// Rand returns the rank's private deterministic random stream. Workload
+// and noise code must draw per-rank randomness from it (never from
+// Engine.Rand) so results do not depend on rank interleaving.
+func (r *Rank) Rand() *sim.Rng { return &r.rng }
 
 // ID returns the rank number (0-based).
 func (r *Rank) ID() int { return r.id }

@@ -75,12 +75,15 @@ func (r *Rank) ParallelRegion(n int, body func(t *Thread)) {
 	for i := 0; i < n; i++ {
 		t := &Thread{rank: r, id: i, stk: stack.New("thread_main")}
 		r.threads = append(r.threads, t)
-		t.proc = r.w.eng.SpawnNow(fmt.Sprintf("rank-%d-thread-%d", r.id, i), func(p *sim.Proc) {
+		// Spawn through the rank's own proc so workers land on the rank's
+		// shard: the whole fork/join region stays shard-local in every
+		// execution mode.
+		t.proc = r.proc.SpawnNow(fmt.Sprintf("rank-%d-thread-%d", r.id, i), func(p *sim.Proc) {
 			t.proc = p
 			body(t)
 			remaining--
 			if remaining == 0 && joinWait != nil {
-				joinWait.Wake()
+				joinWait.WakeAtLocal(p.Now())
 			}
 		})
 	}

@@ -20,6 +20,8 @@ package mpi
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"parastack/internal/sim"
@@ -48,56 +50,45 @@ type World struct {
 	Perturb func(r *Rank, d time.Duration) time.Duration
 
 	started    bool
-	finished   int
-	finishedAt sim.Time
+	finished   atomic.Int32 // ranks whose bodies have returned
+	finishedAt atomic.Int64 // max completion virtual time (ns), valid once Done
 
-	// Object pools. Messages and the requests of the internal blocking
-	// paths churn once per communication; recycling them (and collective
-	// ops) is what keeps a steady-state run allocation-free. All pool
-	// traffic happens while the engine holds control of exactly one
-	// process, so no locking is needed.
-	freeMsgs []*message
-	freeReqs []*Request
-	freeOps  []*collOp
+	// deliverFn/completeFn cache the method values passed to
+	// sim.Proc.Post so delivery and completion events carry a shared
+	// function pointer instead of a fresh closure per message.
+	deliverFn  func(sim.Time, any)
+	completeFn func(sim.Time, any)
+
+	// Pooled collective ops, shared across communicators. opMu guards
+	// the pool: ranks on different shards may enter collectives on
+	// different communicators concurrently in a multi-worker window.
+	opMu    sync.Mutex
+	freeOps []*collOp
+
+	// group is the number of consecutive ranks homed on one engine
+	// shard (see shardGroupSize). It is part of the world's identity:
+	// event stamps carry shard ids, so serial and windowed runs of the
+	// same world use the same grouping by construction.
+	group int
 }
 
-// getMsg pops a pooled message (fields are fully overwritten by the
-// caller) or allocates one.
-func (w *World) getMsg() *message {
-	if n := len(w.freeMsgs); n > 0 {
-		m := w.freeMsgs[n-1]
-		w.freeMsgs[n-1] = nil
-		w.freeMsgs = w.freeMsgs[:n-1]
-		return m
+// maxRankShards bounds the number of rank shards a world creates.
+// Below it every rank gets its own shard (maximum windowed
+// parallelism); above it consecutive ranks share shards, which keeps
+// the shard head-heap small and — more importantly — batches each
+// horizon window into long same-shard event chains that the windowed
+// executor runs on one hot goroutine chain (see sim shard.runLoop).
+const maxRankShards = 256
+
+// shardGroupSize returns the ranks-per-shard grouping for a world of
+// the given size: 1 until maxRankShards, then the smallest group that
+// keeps the shard count at maxRankShards.
+func shardGroupSize(size int) int {
+	g := (size + maxRankShards - 1) / maxRankShards
+	if g < 1 {
+		g = 1
 	}
-	return &message{}
-}
-
-// putMsg returns a consumed message to the pool.
-func (w *World) putMsg(m *message) { w.freeMsgs = append(w.freeMsgs, m) }
-
-// getReq pops a pooled request, reset except for its cached onComplete
-// closure (bound to the struct, still valid), or allocates one.
-func (w *World) getReq() *Request {
-	if n := len(w.freeReqs); n > 0 {
-		q := w.freeReqs[n-1]
-		w.freeReqs[n-1] = nil
-		w.freeReqs = w.freeReqs[:n-1]
-		return q
-	}
-	return &Request{}
-}
-
-// putReq returns a request to the pool. The caller guarantees no
-// outside handle to it survives (see Rank.release).
-func (w *World) putReq(q *Request) {
-	q.rank = nil
-	q.isRecv = false
-	q.src, q.tag = 0, 0
-	q.done = false
-	q.msg = nil
-	q.waiter = nil
-	w.freeReqs = append(w.freeReqs, q)
+	return g
 }
 
 // NewWorld creates a world of size ranks on eng with latency model lat.
@@ -107,9 +98,12 @@ func NewWorld(eng *sim.Engine, size int, lat Latency) *World {
 		panic("mpi: world size must be positive")
 	}
 	w := &World{
-		eng: eng,
-		lat: lat.WithDefaults(),
+		eng:   eng,
+		lat:   lat.WithDefaults(),
+		group: shardGroupSize(size),
 	}
+	w.deliverFn = w.deliverMsg
+	w.completeFn = w.completeReq
 	w.ranks = make([]*Rank, size)
 	all := make([]int, size)
 	for i := 0; i < size; i++ {
@@ -138,8 +132,8 @@ func (w *World) Reset(lat Latency) {
 	w.lat = lat.WithDefaults()
 	w.Perturb = nil
 	w.started = false
-	w.finished = 0
-	w.finishedAt = 0
+	w.finished.Store(0)
+	w.finishedAt.Store(0)
 	for _, r := range w.ranks {
 		for _, q := range r.posted[r.postedHead:] {
 			if q != nil {
@@ -147,21 +141,24 @@ func (w *World) Reset(lat Latency) {
 				// hold an Irecv handle is gone (the run is over), so reuse
 				// is unobservable. Attached messages come back too.
 				if q.msg != nil {
-					w.putMsg(q.msg)
+					r.putMsg(q.msg)
 				}
-				w.putReq(q)
+				r.putReq(q)
 			}
 		}
 		r.posted = r.posted[:0]
 		r.postedHead, r.postedHoles = 0, 0
 		for _, m := range r.unexpected[r.unexpectedHead:] {
 			if m != nil {
-				w.putMsg(m)
+				r.putMsg(m)
 			}
 		}
 		r.unexpected = r.unexpected[:0]
 		r.unexpectedHead, r.unexpectedHoles = 0, 0
 		r.msgSeq = 0
+		for dst := range r.lastArrive {
+			delete(r.lastArrive, dst)
+		}
 		r.block = blockState{}
 		r.threads = nil
 		r.hung = false
@@ -191,32 +188,54 @@ func (w *World) Ranks() []*Rank { return w.ranks }
 // Latency returns the world's latency model.
 func (w *World) Latency() Latency { return w.lat }
 
+// rankStreamSalt keys per-rank random streams apart from every other
+// derivation of the engine seed (collective draws use collSalt).
+const rankStreamSalt = 0x726b // "rk"
+
 // Launch starts every rank running body at virtual time 0 (or the
-// current time if the engine has already advanced). It may be called
-// once per world.
+// current time if the engine has already advanced). Ranks are homed on
+// engine shards in consecutive groups of shardGroupSize (shard 0 stays
+// reserved for system activity), and each gets a fresh private random
+// stream derived from the engine's current seed. It may be called once
+// per world.
 func (w *World) Launch(body func(r *Rank)) {
 	if w.started {
 		panic("mpi: world already launched")
 	}
 	w.started = true
+	seed := uint64(w.eng.Seed())
+	now := w.eng.Now()
 	for _, r := range w.ranks {
 		r := r
-		r.proc = w.eng.SpawnNow(r.name, func(p *sim.Proc) {
+		r.rng.Seed(sim.Mix64(seed, rankStreamSalt, uint64(r.id)))
+		r.proc = w.eng.SpawnOn(1+r.id/w.group, r.name, now, func(p *sim.Proc) {
 			body(r)
-			w.finished++
-			if w.finished == len(w.ranks) {
-				w.finishedAt = w.eng.Now()
+			// Completion bookkeeping must be safe from concurrent window
+			// workers; the max over completion times equals the serial
+			// engine's "time of the last completion".
+			t := int64(p.Now())
+			for {
+				cur := w.finishedAt.Load()
+				if t <= cur || w.finishedAt.CompareAndSwap(cur, t) {
+					break
+				}
 			}
+			w.finished.Add(1)
 		})
 	}
 }
 
 // Done reports whether every rank's body has returned.
-func (w *World) Done() bool { return w.started && w.finished == len(w.ranks) }
+func (w *World) Done() bool { return w.started && int(w.finished.Load()) == len(w.ranks) }
 
 // Finished reports how many ranks have completed.
-func (w *World) Finished() int { return w.finished }
+func (w *World) Finished() int { return int(w.finished.Load()) }
 
 // FinishedAt returns the virtual time at which the last rank completed
 // (zero until Done).
-func (w *World) FinishedAt() sim.Time { return w.finishedAt }
+func (w *World) FinishedAt() sim.Time {
+	if !w.Done() {
+		return 0
+	}
+	return sim.Time(w.finishedAt.Load())
+}

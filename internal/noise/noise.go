@@ -186,10 +186,14 @@ func (p Profile) Apply(w *mpi.World, rng *rand.Rand, ppn int, expectedDur time.D
 		speed = 1
 	}
 	jitter := p.Jitter
+	// Per-interval jitter draws from the rank's own stream, not the
+	// setup rng: the hook runs in rank execution context, and only a
+	// per-rank stream keeps the draw sequence independent of the order
+	// ranks happen to execute in (serial vs. windowed parallel).
 	w.Perturb = func(r *mpi.Rank, d time.Duration) time.Duration {
 		f := a.nodeFactor[r.ID()/ppn] / speed
 		if jitter > 0 {
-			f *= 1 + jitter*(2*rng.Float64()-1)
+			f *= 1 + jitter*(2*r.Rand().Float64()-1)
 		}
 		if a.slowRanks != nil {
 			now := r.Now()

@@ -3,11 +3,24 @@
 //
 // The engine is the substrate on which the simulated MPI runtime
 // (package mpi), the workload skeletons (package workload), and the
-// ParaStack monitor (package core) execute. Exactly one simulated
-// process (or event callback) runs at a time; control is handed between
-// the scheduler goroutine and process goroutines over unbuffered
-// channels, so shared simulation state needs no further locking and
-// every run is reproducible from the engine's random seed.
+// ParaStack monitor (package core) execute. The event queue is sharded:
+// shard 0 carries system activity (monitors, detectors, test callbacks)
+// and the MPI world gives every rank its own shard, so each queue holds
+// one process group's handful of pending events no matter how large the
+// world is. A deterministic min-merge over the shard heads yields a
+// total event order — (time, source shard, source sequence) — that is
+// identical whether the engine runs serially or in windowed
+// (conservative parallel-DES) mode; see Engine.SetParallel.
+//
+// In serial mode exactly one simulated process (or event callback) runs
+// at a time; control is handed between the scheduler goroutine and
+// process goroutines over per-shard unbuffered channels, so shared
+// simulation state needs no further locking and every run is
+// reproducible from the engine's random seed. Windowed mode partitions
+// execution into horizon windows bounded by the latency model's
+// lookahead (SetLookahead); within a window shards execute
+// independently — by construction they cannot interact before the
+// horizon — and the results remain bit-identical to the serial order.
 //
 // Virtual time is represented as time.Duration offsets from the start
 // of the simulation. Sleeping, blocking on a condition, and waking
@@ -17,7 +30,10 @@ package sim
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"parastack/internal/obs"
@@ -31,6 +47,14 @@ const (
 	CtrSleeps    = "engine.sleeps"     // Proc.Sleep calls
 	CtrEvents    = "engine.events"     // events fired (synced per Run)
 
+	// Windowed-mode counters: windows executed, the total number of
+	// shard activations across windows (occupancy = window_shards /
+	// windows), and windows whose horizon was cut short by a pending
+	// system-shard event rather than the full lookahead.
+	CtrWindows       = "engine.windows"
+	CtrWindowShards  = "engine.window_shards"
+	CtrHorizonStalls = "engine.horizon_stalls"
+
 	GaugeQueueDepthMax = "engine.queue_depth_max"
 
 	EvProcSpawn  = "proc_spawn"  // fields: proc, name
@@ -43,18 +67,31 @@ const (
 // offset from the beginning of the simulation.
 type Time = time.Duration
 
+// maxTime is the +infinity sentinel of horizon computations.
+const maxTime = Time(math.MaxInt64)
+
 // Event is a scheduled callback. Events with equal times fire in
-// scheduling order (FIFO), which keeps runs deterministic.
+// scheduling order within their originating shard (FIFO), with the
+// originating shard's id breaking cross-shard ties, which keeps runs
+// deterministic in both serial and windowed mode.
 //
-// Fired events are recycled through the engine's free list, so an
+// Fired events are recycled through per-shard free lists, so an
 // *Event handle is only valid until its event fires: cancel pending
 // events, never handles retained past their firing time (canceling
 // from within the event's own callback is still safe).
 type Event struct {
 	when Time
-	seq  uint64
+	src  int32  // originating shard (tie-break)
+	seq  uint64 // originating shard's stamp (counter, or canonical wake)
 	fn   func()
 	proc *Proc // when non-nil, firing dispatches this process directly
+
+	// pfn+parg, when pfn is non-nil, is a payload callback: a shared
+	// function pointer plus a boxed argument, so cross-shard posts
+	// (message deliveries, request completions) need no per-event
+	// closure allocation. The callback receives the event's time.
+	pfn  func(Time, any)
+	parg any
 
 	// procs, when non-nil, is a group wake: firing dispatches every
 	// process in order with a single heap pop. The slice is owned by the
@@ -68,98 +105,55 @@ type Event struct {
 
 // Cancel prevents a pending event from firing. Canceling an event that
 // is currently firing (from within its own callback) is a no-op; see
-// the handle-validity note on Event for already-fired events.
+// the handle-validity note on Event for already-fired events. Cancel
+// must be called from the event's own shard (or any single-threaded
+// phase); canceling another shard's event mid-window is a data race.
 func (ev *Event) Cancel() { ev.canceled = true }
 
 // When returns the virtual time at which the event is scheduled.
 func (ev *Event) When() Time { return ev.when }
 
-// eventBefore is the queue's total order: earlier virtual time first,
-// scheduling order (seq) breaking ties. Because the order is total,
-// every correct heap implementation pops events in the same sequence,
-// which is what keeps runs bit-identical across engine versions.
-func eventBefore(a, b *Event) bool {
-	if a.when != b.when {
-		return a.when < b.when
-	}
-	return a.seq < b.seq
-}
-
-// eventHeap is a binary min-heap ordered by eventBefore. The sift
-// operations are hand-inlined rather than going through
-// container/heap's interface so the hot path stays monomorphic: no
-// `any` boxing on push/pop and no indirect Less/Swap calls.
-type eventHeap []*Event
-
-// push inserts ev, sifting it up from the last slot. Parents are moved
-// down into the hole instead of swapped pairwise.
-func (h *eventHeap) push(ev *Event) {
-	q := append(*h, ev)
-	i := len(q) - 1
-	for i > 0 {
-		parent := (i - 1) / 2
-		if !eventBefore(ev, q[parent]) {
-			break
-		}
-		q[i] = q[parent]
-		q[i].index = i
-		i = parent
-	}
-	q[i] = ev
-	ev.index = i
-	*h = q
-}
-
-// popMin removes and returns the earliest event, re-seating the last
-// element by sifting it down from the root.
-func (h *eventHeap) popMin() *Event {
-	q := *h
-	min := q[0]
-	min.index = -1
-	n := len(q) - 1
-	last := q[n]
-	q[n] = nil
-	q = q[:n]
-	*h = q
-	if n == 0 {
-		return min // fast path: queue drained, nothing to re-seat
-	}
-	i := 0
-	for {
-		child := 2*i + 1
-		if child >= n {
-			break
-		}
-		if r := child + 1; r < n && eventBefore(q[r], q[child]) {
-			child = r
-		}
-		if !eventBefore(q[child], last) {
-			break
-		}
-		q[i] = q[child]
-		q[i].index = i
-		i = child
-	}
-	q[i] = last
-	last.index = i
-	return min
-}
-
 // Engine is a discrete-event simulator. The zero value is not usable;
 // construct one with NewEngine.
 type Engine struct {
-	now      Time
-	queue    eventHeap
-	free     []*Event // recycled fired events, reused by schedule
-	seq      uint64
-	rng      *rand.Rand
-	parked   chan struct{} // handoff from a running process back to the scheduler
+	now    Time
+	shards []*shard
+	heads  []headEntry // min-merge over non-empty, non-active shards
+
+	rng  *rand.Rand
+	seed int64
+
 	stopped  bool
 	running  bool
 	shutdown bool
 
+	// ctx is the shard whose event (or setup code) is currently
+	// executing in a single-threaded phase; engine-level scheduling
+	// APIs (At, After, Spawn, WakeAt) stamp events with it. During
+	// windowed shard execution it is not meaningful — window code must
+	// use Proc-scoped APIs, which derive the context from the process.
+	ctx *shard
+
+	// Windowed-mode configuration and state.
+	workers   int  // 0 = serial; >=1 enables windowed execution
+	lookahead Time // cross-shard latency lower bound (0 disables windowed)
+	inWindow  bool // inside a window's shard-execution phase
+	curH      Time // current window horizon (0 outside windows)
+	active    []*shard
+	dirty     []*shard // shards with pending inbox entries
+	dirtyMu   sync.Mutex
+
+	// Window-chain bookkeeping (see runWindow/runChain): the cursor
+	// into active, the count of active shards not yet exhausted, and
+	// the one-token channel the last finisher signals. Buffered so the
+	// finisher never blocks, even when it is the coordinator itself.
+	winNext atomic.Int64
+	winLeft atomic.Int64
+	winDone chan struct{}
+
 	procs     []*Proc
 	liveProcs int
+	procMu    sync.Mutex // guards procs/freeProcs for mid-window spawns
 
 	// Reuse pools. freeProcs recycles Proc structs (and their resume
 	// channels) across Reset cycles; procSlices recycles group-wake
@@ -167,28 +161,57 @@ type Engine struct {
 	// waiter list round-trips through the pool without reallocating.
 	freeProcs  []*Proc
 	procSlices map[int][][]*Proc
+	sliceMu    sync.Mutex
 
-	// Stats, useful for tests and benchmarks.
-	eventsFired uint64
+	// Windowed-run tallies (coordinator-only).
+	windows       uint64
+	windowShards  uint64
+	horizonStalls uint64
 
 	// Observability (see SetRecorder). rec is never nil.
 	rec          obs.Recorder
 	traceProcs   bool
-	maxDepth     int
 	depthEvented int
-	eventsSynced uint64 // eventsFired already folded into CtrEvents
+	// synced copies of the tallies already folded into the recorder.
+	eventsSynced                                    uint64
+	sleepsSynced                                    uint64
+	spawnsSynced                                    uint64
+	exitsSynced                                     uint64
+	windowsSynced, windowShardsSynced, stallsSynced uint64
 }
 
 // NewEngine returns an engine whose random stream is seeded with seed.
 // Two engines built with the same seed and driven by the same program
 // produce identical event sequences.
 func NewEngine(seed int64) *Engine {
-	return &Engine{
-		rng:    rand.New(rand.NewSource(seed)),
-		parked: make(chan struct{}),
-		rec:    obs.Disabled,
+	e := &Engine{
+		rng:     rand.New(rand.NewSource(seed)),
+		seed:    seed,
+		rec:     obs.Disabled,
+		winDone: make(chan struct{}, 1),
 	}
+	e.ctx = e.shardFor(0)
+	return e
 }
+
+// shardFor returns shard id, growing the shard table as needed. Shards
+// persist across Reset so their free lists and park channels stay warm
+// for the next run.
+func (e *Engine) shardFor(id int32) *shard {
+	for int(id) >= len(e.shards) {
+		s := &shard{
+			id:     int32(len(e.shards)),
+			eng:    e,
+			parked: make(chan struct{}),
+			pos:    -1,
+		}
+		e.shards = append(e.shards, s)
+	}
+	return e.shards[id]
+}
+
+// Shards reports how many shards exist (system shard included).
+func (e *Engine) Shards() int { return len(e.shards) }
 
 // SetRecorder attaches an observability recorder. The engine counts
 // spawns, process exits, sleeps, and fired events, tracks the maximum
@@ -200,7 +223,9 @@ func NewEngine(seed int64) *Engine {
 //
 // Recording is pure observation: it never touches the engine's random
 // stream or event ordering, so attaching a recorder cannot perturb
-// virtual-time results.
+// virtual-time results. Structured-event recording is only supported
+// in serial mode (windowed workers would race on the sink); counters
+// and gauges are folded at window barriers and work in every mode.
 func (e *Engine) SetRecorder(r obs.Recorder) {
 	if r == nil {
 		r = obs.Disabled
@@ -215,78 +240,224 @@ func (e *Engine) Recorder() obs.Recorder { return e.rec }
 // default; spawn/stop events only need SetRecorder).
 func (e *Engine) TraceProcs(on bool) { e.traceProcs = on }
 
-// Now returns the current virtual time.
+// Now returns the current virtual time: in serial mode the time of the
+// last dispatched event, in windowed mode the committed horizon (no
+// pending event is earlier than it). Process bodies should prefer
+// Proc.Now, which is exact in both modes.
 func (e *Engine) Now() Time { return e.now }
 
 // Rand returns the engine's deterministic random source. It must only
-// be used from event callbacks and simulated processes (i.e. while the
-// simulation is running or before it starts), never concurrently.
+// be used from setup code, system-shard (shard 0) events, and tests —
+// contexts that execute serially in every mode. Rank-context code uses
+// per-rank streams (see Rng) so draws are independent of cross-shard
+// execution order.
 func (e *Engine) Rand() *rand.Rand { return e.rng }
 
-// EventsFired reports how many events have executed so far.
-func (e *Engine) EventsFired() uint64 { return e.eventsFired }
+// Seed returns the seed of the engine's current random stream; worlds
+// derive per-rank and keyed streams from it.
+func (e *Engine) Seed() int64 { return e.seed }
+
+// SetParallel selects windowed (conservative parallel-DES) execution
+// with the given worker count; 0 restores serial execution. Windowed
+// execution also requires a positive lookahead (SetLookahead) — without
+// one Run falls back to the serial loop. workers == 1 runs the windowed
+// algorithm on the coordinator goroutine alone: on a single-core host
+// that is the fast configuration (the speedup comes from shard-local
+// batching, not concurrency), while workers > 1 executes a window's
+// shards on that many goroutines.
+func (e *Engine) SetParallel(workers int) {
+	if e.running {
+		panic("sim: SetParallel while running")
+	}
+	if workers < 0 {
+		workers = 0
+	}
+	e.workers = workers
+}
+
+// Parallel reports the configured windowed worker count (0 = serial).
+func (e *Engine) Parallel() int { return e.workers }
+
+// SetLookahead declares the minimum virtual-time distance between an
+// action on one shard and its earliest possible effect on another —
+// for the MPI world, the latency model's jitter-adjusted minimum of
+// Base and CollBase. Windowed execution is sound exactly when every
+// cross-shard interaction respects it; the engine enforces it with a
+// panic on violation, so a too-large value fails loudly rather than
+// corrupting results.
+func (e *Engine) SetLookahead(d Time) {
+	if d < 0 {
+		d = 0
+	}
+	e.lookahead = d
+}
+
+// Lookahead returns the declared cross-shard lookahead.
+func (e *Engine) Lookahead() Time { return e.lookahead }
+
+// EventsFired reports how many events have executed so far, summed
+// over shards. Inline-executed sleeps (the windowed fast path) count
+// exactly like the wake events the serial engine fires for them, so
+// the tally is mode-independent.
+func (e *Engine) EventsFired() uint64 {
+	var n uint64
+	for _, s := range e.shards {
+		n += s.fired
+	}
+	return n
+}
 
 // Procs returns all processes ever spawned on the engine, in spawn order.
 func (e *Engine) Procs() []*Proc { return e.procs }
 
 // LiveProcs reports the number of spawned processes that have not yet
 // terminated.
-func (e *Engine) LiveProcs() int { return e.liveProcs }
+func (e *Engine) LiveProcs() int {
+	e.procMu.Lock()
+	defer e.procMu.Unlock()
+	return e.liveProcs
+}
 
-// schedule allocates (or recycles) an event at absolute virtual time t
-// and inserts it into the queue. Scheduling in the past panics: it
-// would silently reorder causality.
-func (e *Engine) schedule(t Time) *Event {
-	if t < e.now {
-		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+// scheduleLocal allocates an event on shard s with s's own counter
+// stamp and pushes it. The caller must be executing on s (its window
+// worker, its dispatched process, or a single-threaded phase with
+// ctx == s). floor is the causality check reference.
+func (e *Engine) scheduleLocal(s *shard, t Time) *Event {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before shard %d time %v", t, s.id, s.now))
 	}
-	var ev *Event
-	if n := len(e.free); n > 0 {
-		ev = e.free[n-1]
-		e.free[n-1] = nil
-		e.free = e.free[:n-1]
-	} else {
-		ev = &Event{}
-	}
+	ev := s.alloc()
 	ev.when = t
-	ev.seq = e.seq
-	e.seq++
-	e.queue.push(ev)
-	if n := len(e.queue); n > e.maxDepth {
-		e.maxDepth = n
-		// Emit depth milestones on ~2x growth only, so the trace stays
-		// bounded even for million-event simulations.
-		if e.rec.Enabled() && n >= 2*e.depthEvented {
-			e.depthEvented = n
-			e.rec.Event(e.now, EvQueueDepth, obs.Int("depth", int64(n)))
-		}
+	ev.src = s.id
+	ev.seq = s.seq
+	s.seq++
+	s.queue.push(ev)
+	s.notePush()
+	if !e.inWindow {
+		e.onHeadChanged(s, ev)
 	}
 	return ev
 }
 
-// recycle resets a popped event and returns it to the free list. The
-// free list never exceeds the maximum number of concurrently pending
-// events, so it needs no cap of its own. A group-wake event's waiter
-// slice returns to the proc-slice pool here.
-func (e *Engine) recycle(ev *Event) {
-	ev.fn = nil
-	ev.proc = nil
-	if ev.procs != nil {
-		e.PutProcSlice(ev.procs)
-		ev.procs = nil
+// schedulePost allocates an event stamped by src's shard counter and
+// routes it to dst's shard: the deterministic cross-shard post behind
+// message deliveries. Outside window execution (setup, system events,
+// serial runs) the event is pushed directly; during a window it goes
+// through the target's inbox when other workers may own the target.
+func (e *Engine) schedulePost(src, dst *shard, t Time) *Event {
+	if src == dst {
+		return e.scheduleLocal(src, t)
 	}
-	ev.canceled = false
-	e.free = append(e.free, ev)
+	ev := src.alloc()
+	ev.when = t
+	ev.src = src.id
+	ev.seq = src.seq
+	src.seq++
+	e.routeRemote(dst, ev)
+	return ev
+}
+
+// scheduleWake allocates a canonical wake event for p: stamped with
+// p's home shard and p's shard-local id rather than any scheduler
+// counter, because cross-shard wakers' identities (who completed the
+// collective last) depend on execution order. The canonical stamp
+// makes the event's queue position a pure function of mode-independent
+// data, so serial and windowed runs order it identically. The event is
+// allocated from src — the waker's context — since p's shard may be
+// executing concurrently.
+func (e *Engine) scheduleWake(src *shard, p *Proc, t Time) *Event {
+	s := p.shard
+	ev := src.alloc()
+	ev.when = t
+	ev.src = s.id
+	ev.seq = wakeSeqBit | p.localID
+	ev.proc = p
+	if s == src {
+		// Waking a peer on one's own shard is shard-local: no lookahead
+		// constraint and no routing indirection.
+		if t < s.now {
+			panic(fmt.Sprintf("sim: scheduling event at %v before shard %d time %v", t, s.id, s.now))
+		}
+		s.queue.push(ev)
+		s.notePush()
+		if !e.inWindow {
+			e.onHeadChanged(s, ev)
+		}
+		return ev
+	}
+	e.routeRemote(s, ev)
+	return ev
+}
+
+// routeRemote inserts a stamped event into target's queue, via the
+// inbox when the target may be concurrently executing its own window.
+func (e *Engine) routeRemote(target *shard, ev *Event) {
+	if ev.when < target.committed {
+		panic(fmt.Sprintf(
+			"sim: lookahead violation: event at %v posted to shard %d committed through %v",
+			ev.when, target.id, target.committed))
+	}
+	if !e.inWindow {
+		if ev.when < e.now {
+			panic(fmt.Sprintf("sim: scheduling event at %v before now %v", ev.when, e.now))
+		}
+		target.queue.push(ev)
+		target.notePush()
+		e.onHeadChanged(target, ev)
+		return
+	}
+	if e.curH > 0 && ev.when < e.curH {
+		panic(fmt.Sprintf(
+			"sim: lookahead violation: cross-shard event at %v inside window horizon %v",
+			ev.when, e.curH))
+	}
+	if e.workers <= 1 {
+		// Single-driver window: the coordinator is the only goroutine
+		// touching any queue, so the inbox indirection is unnecessary.
+		target.queue.push(ev)
+		target.notePush()
+		if !target.active {
+			e.onHeadChanged(target, ev)
+		}
+		return
+	}
+	target.inboxMu.Lock()
+	target.inbox = append(target.inbox, ev)
+	target.inboxMu.Unlock()
+	e.dirtyMu.Lock()
+	if !target.indirty {
+		target.indirty = true
+		e.dirty = append(e.dirty, target)
+	}
+	e.dirtyMu.Unlock()
+}
+
+// notePush records depth bookkeeping after a queue push; the ~2x-growth
+// structured depth event is only emitted from single-threaded phases.
+func (s *shard) notePush() {
+	n := len(s.queue)
+	if n > s.maxDepth {
+		s.maxDepth = n
+		e := s.eng
+		if !e.inWindow && e.rec.Enabled() && n >= 2*e.depthEvented {
+			e.depthEvented = n
+			e.rec.Event(e.now, EvQueueDepth, obs.Int("depth", int64(n)))
+		}
+	}
 }
 
 // GetProcSlice returns an empty process slice with at least the given
 // capacity, reusing a pooled backing array when one of that exact
 // capacity is available. Callers either hand the slice back through
 // PutProcSlice or transfer ownership to the engine via WakeAllAt.
+// The pool is mutex-guarded: collectives on different communicators
+// may request slices from concurrent windowed workers.
 func (e *Engine) GetProcSlice(capacity int) []*Proc {
 	if capacity < 1 {
 		capacity = 1
 	}
+	e.sliceMu.Lock()
+	defer e.sliceMu.Unlock()
 	if l := e.procSlices[capacity]; len(l) > 0 {
 		s := l[len(l)-1]
 		l[len(l)-1] = nil
@@ -306,29 +477,61 @@ func (e *Engine) PutProcSlice(s []*Proc) {
 	for i := range s {
 		s[i] = nil // drop proc references so pooled arrays don't pin them
 	}
+	e.sliceMu.Lock()
 	if e.procSlices == nil {
 		e.procSlices = make(map[int][][]*Proc)
 	}
 	e.procSlices[cap(s)] = append(e.procSlices[cap(s)], s[:0])
+	e.sliceMu.Unlock()
 }
 
-// WakeAllAt schedules every process in procs to resume at time t with a
-// single queued event: one heap insertion instead of one per waiter,
-// which is what keeps large collectives O(log queue) instead of
-// O(N log queue). Processes are dispatched in slice order, and each
-// dispatch counts as one fired event, so the wake order and the
-// engine's event tally are bit-identical to looping WakeAt over the
-// same slice. Every process must be suspended; ownership of the slice
-// transfers to the engine (it returns to the proc-slice pool after the
-// event fires). An empty slice schedules nothing and returns nil.
+// WakeAllAt schedules every process in procs to resume at time t.
+// Serially that is a single queued group event — one heap insertion
+// instead of one per waiter, which keeps large collectives O(log queue)
+// instead of O(N log queue); in windowed mode each waiter gets a
+// canonical per-shard wake event. Processes are dispatched in slice
+// order, and each dispatch counts as one fired event, so the wake
+// order and the engine's event tally are identical across modes. Every
+// process must be suspended; ownership of the slice transfers to the
+// engine (a group event returns it to the proc-slice pool after
+// firing; the fan-out path returns it immediately). An empty slice
+// schedules nothing and returns nil.
+//
+// It must be called from a single-threaded phase or, in windowed mode,
+// from the caller process ctx (see Proc.WakeAllAt, which collectives
+// use).
 func (e *Engine) WakeAllAt(t Time, procs []*Proc) *Event {
+	return e.wakeAll(e.ctx, t, procs)
+}
+
+func (e *Engine) wakeAll(src *shard, t Time, procs []*Proc) *Event {
 	if len(procs) == 0 {
 		if procs != nil {
 			e.PutProcSlice(procs)
 		}
 		return nil
 	}
-	ev := e.schedule(t)
+	if e.workers > 0 && e.lookahead > 0 {
+		// Windowed: canonical per-waiter wakes, identical order. With
+		// multiple window workers a cross-shard waiter's state word may
+		// still be in flight (it parks after registering), so marking is
+		// deferred to the window barrier; see Proc.WakePeerAt.
+		deferCross := e.inWindow && e.workers > 1
+		for _, p := range procs {
+			if deferCross && p.shard != src {
+				e.scheduleWake(src, p, t)
+				continue
+			}
+			if p.state != ProcSuspended {
+				panic(fmt.Sprintf("sim: WakeAllAt(%s) in state %s", p.Name, p.state))
+			}
+			p.state = ProcSleeping
+			p.wake = e.scheduleWake(src, p, t)
+		}
+		e.PutProcSlice(procs)
+		return nil
+	}
+	ev := e.scheduleLocal(src, t)
 	ev.procs = procs
 	for _, p := range procs {
 		if p.state != ProcSuspended {
@@ -342,37 +545,89 @@ func (e *Engine) WakeAllAt(t Time, procs []*Proc) *Event {
 	return ev
 }
 
-// At schedules fn to run at absolute virtual time t.
+// At schedules fn to run at absolute virtual time t on the current
+// context shard (shard 0 for setup/system code). It must only be
+// called from single-threaded phases — setup, tests, system events,
+// or any serial run; windowed rank code uses Proc-scoped scheduling.
 func (e *Engine) At(t Time, fn func()) *Event {
-	ev := e.schedule(t)
+	ev := e.scheduleCtx(t)
 	ev.fn = fn
 	return ev
 }
 
-// atProc schedules a direct process dispatch at time t. This is the
-// allocation-free fast path for Sleep/Wake/Spawn: no callback closure
-// is created, the run loop dispatches the process straight from the
-// event's proc field.
-func (e *Engine) atProc(t Time, p *Proc) *Event {
-	ev := e.schedule(t)
-	ev.proc = p
+// scheduleCtx schedules on the current single-threaded context shard
+// with the engine-clock causality check (the pre-sharding contract).
+func (e *Engine) scheduleCtx(t Time) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	s := e.ctx
+	ev := s.alloc()
+	ev.when = t
+	ev.src = s.id
+	ev.seq = s.seq
+	s.seq++
+	s.queue.push(ev)
+	s.notePush()
+	e.onHeadChanged(s, ev)
 	return ev
 }
 
-// MaxQueueDepth reports the largest event-queue length seen so far.
-func (e *Engine) MaxQueueDepth() int { return e.maxDepth }
-
-// syncObs folds engine-side tallies into the recorder; called when a
-// Run slice finishes so hot loops stay free of per-event recorder work.
-func (e *Engine) syncObs() {
-	if d := e.eventsFired - e.eventsSynced; d > 0 {
-		e.eventsSynced = e.eventsFired
-		e.rec.Count(CtrEvents, int64(d))
+// MaxQueueDepth reports the largest per-shard event-queue length seen
+// so far (the deepest any single shard's queue has been).
+func (e *Engine) MaxQueueDepth() int {
+	max := 0
+	for _, s := range e.shards {
+		if s.maxDepth > max {
+			max = s.maxDepth
+		}
 	}
-	e.rec.Gauge(GaugeQueueDepthMax, float64(e.maxDepth))
+	return max
 }
 
-// After schedules fn to run d from now.
+// syncObs folds engine-side tallies into the recorder; called when a
+// Run slice finishes (and after Shutdown) so hot loops stay free of
+// per-event recorder work.
+func (e *Engine) syncObs() {
+	var fired, sleeps, spawns, exits uint64
+	for _, s := range e.shards {
+		fired += s.fired
+		sleeps += s.sleeps
+		spawns += s.spawns
+		exits += s.exits
+	}
+	if d := fired - e.eventsSynced; d > 0 {
+		e.eventsSynced = fired
+		e.rec.Count(CtrEvents, int64(d))
+	}
+	if d := sleeps - e.sleepsSynced; d > 0 {
+		e.sleepsSynced = sleeps
+		e.rec.Count(CtrSleeps, int64(d))
+	}
+	if d := spawns - e.spawnsSynced; d > 0 {
+		e.spawnsSynced = spawns
+		e.rec.Count(CtrSpawns, int64(d))
+	}
+	if d := exits - e.exitsSynced; d > 0 {
+		e.exitsSynced = exits
+		e.rec.Count(CtrProcExits, int64(d))
+	}
+	if d := e.windows - e.windowsSynced; d > 0 {
+		e.windowsSynced = e.windows
+		e.rec.Count(CtrWindows, int64(d))
+	}
+	if d := e.windowShards - e.windowShardsSynced; d > 0 {
+		e.windowShardsSynced = e.windowShards
+		e.rec.Count(CtrWindowShards, int64(d))
+	}
+	if d := e.horizonStalls - e.stallsSynced; d > 0 {
+		e.stallsSynced = e.horizonStalls
+		e.rec.Count(CtrHorizonStalls, int64(d))
+	}
+	e.rec.Gauge(GaugeQueueDepthMax, float64(e.MaxQueueDepth()))
+}
+
+// After schedules fn to run d from now (see At for context rules).
 func (e *Engine) After(d time.Duration, fn func()) *Event {
 	if d < 0 {
 		d = 0
@@ -380,8 +635,9 @@ func (e *Engine) After(d time.Duration, fn func()) *Event {
 	return e.At(e.now+d, fn)
 }
 
-// Stop halts the run loop after the currently executing event returns.
-// Pending events remain queued; a subsequent Run call resumes from them.
+// Stop halts the run loop after the currently executing event (or, in
+// windowed mode, the current window) completes. Pending events remain
+// queued; a subsequent Run call resumes from them.
 func (e *Engine) Stop() { e.stopped = true }
 
 // Stopped reports whether Stop has been called since the last Run.
@@ -396,58 +652,71 @@ func (e *Engine) Stopped() bool { return e.stopped }
 // global hang with no monitor attached. Run simply returns in that
 // case; callers can inspect LiveProcs to distinguish it from normal
 // completion.
+//
+// With SetParallel(n>0) and a positive SetLookahead, Run uses the
+// windowed conservative executor; results are bit-identical to the
+// serial loop.
 func (e *Engine) Run(until Time) Time {
+	if e.workers > 0 && e.lookahead > 0 {
+		return e.runWindowed(until)
+	}
+	return e.runSerial(until)
+}
+
+func (e *Engine) runSerial(until Time) Time {
 	e.stopped = false
 	e.running = true
 	defer func() {
 		e.running = false
+		e.ctx = e.shards[0]
 		e.syncObs()
 	}()
-	for len(e.queue) > 0 && !e.stopped {
-		next := e.queue[0]
-		if until > 0 && next.when > until {
+	for len(e.heads) > 0 && !e.stopped {
+		if until > 0 && e.heads[0].when > until {
 			e.now = until
 			return e.now
 		}
-		e.queue.popMin()
-		if next.canceled {
-			e.recycle(next)
-			continue
-		}
-		if next.when > e.now {
-			e.now = next.when
-		}
-		// Fast path: the overwhelmingly common event is a process
-		// dispatch (sleep wakeup / suspend resume); it carries the
-		// process directly instead of a closure.
-		switch {
-		case next.proc != nil:
-			e.eventsFired++
-			e.dispatch(next.proc)
-		case next.procs != nil:
-			// Group wake: one heap pop releases the whole waiter list.
-			// Each dispatch counts as a fired event so the tally stays
-			// identical to the one-event-per-waiter formulation.
-			for _, p := range next.procs {
-				e.eventsFired++
-				e.dispatch(p)
-			}
-		default:
-			e.eventsFired++
-			next.fn()
-		}
-		// Recycled only after the callback returns, so a Cancel from
-		// within the event's own callback stays a safe no-op.
-		e.recycle(next)
+		e.runOneStep()
 	}
 	return e.now
+}
+
+// runOneStep pops and fires the single earliest event in the system:
+// the serial loop's body, also used by the windowed executor whenever
+// the system shard holds the global minimum.
+func (e *Engine) runOneStep() {
+	s := e.headsPopMin()
+	s.active = true
+	next := s.queue.popMin()
+	if next.canceled {
+		s.recycle(next)
+		e.headsRestore(s)
+		return
+	}
+	if next.when > e.now {
+		e.now = next.when
+	}
+	s.now = next.when
+	e.ctx = s
+	s.fire(next)
+	// Recycled only after the callback returns, so a Cancel from
+	// within the event's own callback stays a safe no-op.
+	s.recycle(next)
+	e.headsRestore(s)
 }
 
 // RunAll runs with no time limit.
 func (e *Engine) RunAll() Time { return e.Run(0) }
 
-// PendingEvents reports the number of queued (possibly canceled) events.
-func (e *Engine) PendingEvents() int { return len(e.queue) }
+// PendingEvents reports the number of queued (possibly canceled)
+// events across all shards and inboxes.
+func (e *Engine) PendingEvents() int {
+	n := 0
+	for _, s := range e.shards {
+		n += len(s.queue) + len(s.inbox)
+	}
+	return n
+}
 
 // Shutdown terminates every live simulated process, releasing their
 // goroutines. Campaigns that run thousands of simulations — many ending
@@ -467,34 +736,36 @@ func (e *Engine) Shutdown() {
 			// shutdown flag and unwinds via a procExit panic; the spawn
 			// wrapper recovers it and parks back one final time.
 			p.resume <- struct{}{}
-			<-e.parked
+			<-p.shard.parked
 		}
 	}
+	e.syncObs()
 }
 
 // Reset returns the engine to its just-constructed state with a fresh
-// random stream seeded with seed, while retaining every warm free list
-// (events, processes, group-wake slices). A reset engine is
-// indistinguishable from NewEngine(seed) to the simulation — virtual
-// time, event sequence numbers, the random stream, and all counters
-// restart from zero — which is what lets campaigns reuse one engine
-// across seeds instead of reallocating per run. Live processes are
-// Shutdown first; the attached recorder is kept (pass a new one via
-// SetRecorder for the next run).
+// random stream seeded with seed, while retaining every warm structure
+// (shards, event free lists, processes, group-wake slices). A reset
+// engine is indistinguishable from NewEngine(seed) to the simulation —
+// virtual time, event sequence numbers, the random stream, and all
+// counters restart from zero — which is what lets campaigns reuse one
+// engine across seeds instead of reallocating per run. Live processes
+// are Shutdown first; the attached recorder is kept (pass a new one via
+// SetRecorder for the next run). Parallelism and lookahead revert to
+// serial defaults; callers re-apply them per run.
 func (e *Engine) Reset(seed int64) {
 	if e.running {
 		panic("sim: Reset while running")
 	}
 	e.Shutdown()
-	// Drain the queue into the free list without firing anything;
-	// recycle returns group-wake slices to their pool.
-	for len(e.queue) > 0 {
-		e.recycle(e.queue.popMin())
+	for _, s := range e.shards {
+		s.reset()
 	}
+	e.heads = e.heads[:0]
 	for i, p := range e.procs {
 		// All processes are Done after Shutdown; their goroutines have
 		// exited, so the structs (and resume channels) are reusable.
 		p.eng = nil
+		p.shard = nil
 		p.wake = nil
 		p.penalty = 0
 		e.freeProcs = append(e.freeProcs, p)
@@ -503,13 +774,27 @@ func (e *Engine) Reset(seed int64) {
 	e.procs = e.procs[:0]
 	e.liveProcs = 0
 	e.now = 0
-	e.seq = 0
 	e.stopped = false
 	e.shutdown = false
-	e.eventsFired = 0
+	e.workers = 0
+	e.lookahead = 0
+	e.inWindow = false
+	e.curH = 0
+	e.active = e.active[:0]
+	e.dirty = e.dirty[:0]
+	e.windows = 0
+	e.windowShards = 0
+	e.horizonStalls = 0
 	e.eventsSynced = 0
-	e.maxDepth = 0
+	e.sleepsSynced = 0
+	e.spawnsSynced = 0
+	e.exitsSynced = 0
+	e.windowsSynced = 0
+	e.windowShardsSynced = 0
+	e.stallsSynced = 0
 	e.depthEvented = 0
+	e.ctx = e.shards[0]
+	e.seed = seed
 	e.rng.Seed(seed)
 }
 

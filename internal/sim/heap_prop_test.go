@@ -1,0 +1,140 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestEventHeapProperty drives eventHeap with random interleavings of
+// push, popMin, and Cancel, and checks every pop against a reference
+// model: the earliest (when, src) key among live events, FIFO among
+// equals. Sequence stamps are assigned in push order per source shard,
+// so the heap's full (when, src, seq) order must coincide with that
+// reference — equal-key events must come out in push order, which is
+// exactly the documented tie-break contract. Times and sources are
+// drawn from tiny ranges to force heavy tie collisions, and the heap's
+// index bookkeeping is validated after every operation.
+func TestEventHeapProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		var h eventHeap
+		var model []*Event  // live (non-canceled) events in push order
+		seqs := [3]uint64{} // per-source push counters
+
+		checkIndexes := func() {
+			t.Helper()
+			for i, ev := range h {
+				if ev.index != i {
+					t.Fatalf("trial %d: heap[%d].index = %d", trial, i, ev.index)
+				}
+			}
+		}
+		// refPop removes and returns the model's expected next event.
+		refPop := func() *Event {
+			best := 0
+			for i := 1; i < len(model); i++ {
+				ev, b := model[i], model[best]
+				if ev.when < b.when || (ev.when == b.when && ev.src < b.src) {
+					best = i
+				}
+			}
+			ev := model[best]
+			model = append(model[:best], model[best+1:]...)
+			return ev
+		}
+		// pop drains canceled entries (as the engine's event loops do)
+		// and requires the first live pop to match the model exactly.
+		pop := func() {
+			t.Helper()
+			var got *Event
+			for len(h) > 0 {
+				ev := h.popMin()
+				if ev.index != -1 {
+					t.Fatalf("trial %d: popped event has index %d", trial, ev.index)
+				}
+				checkIndexes()
+				if !ev.canceled {
+					got = ev
+					break
+				}
+			}
+			if got == nil {
+				if len(model) != 0 {
+					t.Fatalf("trial %d: heap empty with %d live events in model", trial, len(model))
+				}
+				return
+			}
+			want := refPop()
+			if got != want {
+				t.Fatalf("trial %d: pop = (when=%d src=%d seq=%d), want (when=%d src=%d seq=%d)",
+					trial, got.when, got.src, got.seq, want.when, want.src, want.seq)
+			}
+		}
+
+		for op := 0; op < 300; op++ {
+			switch r := rng.Intn(10); {
+			case r < 5: // push
+				src := int32(rng.Intn(len(seqs)))
+				ev := &Event{
+					when: Time(rng.Intn(8)),
+					src:  src,
+					seq:  seqs[src],
+				}
+				seqs[src]++
+				h.push(ev)
+				checkIndexes()
+				model = append(model, ev)
+			case r < 8:
+				pop()
+			default: // cancel a random live event (lazy removal in the heap)
+				if len(model) > 0 {
+					i := rng.Intn(len(model))
+					model[i].Cancel()
+					model = append(model[:i], model[i+1:]...)
+				}
+			}
+		}
+		for len(h) > 0 || len(model) > 0 {
+			pop()
+		}
+	}
+}
+
+// TestEventHeapPopOrderTotal cross-checks full pop order with no
+// interleaving: push a colliding batch, then drain, and require the
+// exact stable-sorted sequence — the strongest form of the equal-time
+// FIFO tie-break.
+func TestEventHeapPopOrderTotal(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		var h eventHeap
+		n := 1 + rng.Intn(64)
+		seqs := [3]uint64{}
+		events := make([]*Event, 0, n)
+		for i := 0; i < n; i++ {
+			src := int32(rng.Intn(len(seqs)))
+			ev := &Event{when: Time(rng.Intn(4)), src: src, seq: seqs[src]}
+			seqs[src]++
+			h.push(ev)
+			events = append(events, ev)
+		}
+		want := append([]*Event(nil), events...)
+		sort.SliceStable(want, func(i, j int) bool {
+			if want[i].when != want[j].when {
+				return want[i].when < want[j].when
+			}
+			return want[i].src < want[j].src
+		})
+		for i, w := range want {
+			got := h.popMin()
+			if got != w {
+				t.Fatalf("trial %d: pop %d = (when=%d src=%d seq=%d), want (when=%d src=%d seq=%d)",
+					trial, i, got.when, got.src, got.seq, w.when, w.src, w.seq)
+			}
+		}
+		if len(h) != 0 {
+			t.Fatalf("trial %d: heap not drained", trial)
+		}
+	}
+}

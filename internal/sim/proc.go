@@ -47,14 +47,21 @@ func (s ProcState) String() string {
 // engine hands it control, and that advances virtual time by sleeping
 // or suspending. All Proc methods that block (Sleep, Suspend) must be
 // called from the process's own goroutine.
+//
+// Every process is homed on one shard: its sleep wakes and spawned
+// events live in that shard's queue, and in windowed mode the shard is
+// the unit that executes independently between horizon barriers.
 type Proc struct {
 	ID   int
 	Name string
 
-	eng    *Engine
-	resume chan struct{}
-	state  ProcState
-	wake   *Event // pending wake event while sleeping
+	eng     *Engine
+	shard   *shard
+	localID uint64 // shard-local spawn index (canonical wake stamps)
+	resume  chan struct{}
+	state   ProcState
+	wake    *Event // pending wake event while sleeping
+	now     Time   // the process's own virtual clock
 
 	// penalty accumulates virtual time stolen from this process by
 	// external activity (e.g. a monitor stack-tracing it). It is
@@ -69,13 +76,20 @@ func (p *Proc) State() ProcState { return p.state }
 // Engine returns the engine the process runs on.
 func (p *Proc) Engine() *Engine { return p.eng }
 
-// Now returns the current virtual time. Convenience for process bodies.
-func (p *Proc) Now() Time { return p.eng.now }
+// Now returns the process's current virtual time: the time of the event
+// that last dispatched it, advanced by any sleeps since. Unlike
+// Engine.Now it is exact in windowed mode, so process bodies must use
+// it. Outside the process's own execution it reports the time the
+// process last ran (or went to sleep toward).
+func (p *Proc) Now() Time { return p.now }
 
-// Spawn creates a process that will begin executing body at virtual
-// time start (which must not be in the past). The body runs on its own
-// goroutine but only ever while the engine has handed it control.
-func (e *Engine) Spawn(name string, start Time, body func(*Proc)) *Proc {
+// Shard reports the id of the shard the process is homed on.
+func (p *Proc) Shard() int { return int(p.shard.id) }
+
+// newProc allocates (or reuses) a Proc homed on shard s. The caller
+// must own s's execution context.
+func (e *Engine) newProc(name string, s *shard) *Proc {
+	e.procMu.Lock()
 	var p *Proc
 	if n := len(e.freeProcs); n > 0 {
 		// Reuse a pooled Proc (and its resume channel) from a previous
@@ -83,23 +97,33 @@ func (e *Engine) Spawn(name string, start Time, body func(*Proc)) *Proc {
 		p = e.freeProcs[n-1]
 		e.freeProcs[n-1] = nil
 		e.freeProcs = e.freeProcs[:n-1]
-		p.ID = len(e.procs)
-		p.Name = name
-		p.eng = e
-		p.state = ProcReady
 	} else {
-		p = &Proc{
-			ID:     len(e.procs),
-			Name:   name,
-			eng:    e,
-			resume: make(chan struct{}),
-			state:  ProcReady,
-		}
+		p = &Proc{resume: make(chan struct{})}
 	}
+	p.ID = len(e.procs)
+	p.Name = name
+	p.eng = e
+	p.shard = s
+	p.state = ProcReady
+	p.now = 0
 	e.procs = append(e.procs, p)
 	e.liveProcs++
-	e.rec.Count(CtrSpawns, 1)
-	if e.rec.Enabled() {
+	e.procMu.Unlock()
+	p.localID = s.procSeq
+	s.procSeq++
+	s.spawns++
+	return p
+}
+
+// spawn creates a process homed on shard home, with its start event
+// stamped by shard src (the caller's context), and launches its
+// goroutine in the parked state.
+func (e *Engine) spawn(src, home *shard, name string, start Time, body func(*Proc)) *Proc {
+	if !e.inWindow && start < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", start, e.now))
+	}
+	p := e.newProc(name, home)
+	if !e.inWindow && e.rec.Enabled() {
 		e.rec.Event(start, EvProcSpawn, obs.Int("proc", int64(p.ID)), obs.Str("name", name))
 	}
 	go func() {
@@ -110,12 +134,24 @@ func (e *Engine) Spawn(name string, start Time, body func(*Proc)) *Proc {
 				}
 			}
 			p.state = ProcDone
+			p.shard.exits++
+			e.procMu.Lock()
 			e.liveProcs--
-			e.rec.Count(CtrProcExits, 1)
-			if e.rec.Enabled() {
+			e.procMu.Unlock()
+			if !e.inWindow && e.rec.Enabled() {
 				e.rec.Event(e.now, EvProcStop, obs.Int("proc", int64(p.ID)), obs.Str("name", p.Name))
 			}
-			e.parked <- struct{}{} // hand control back for good
+			// Hand control back for good: inside a window the exiting
+			// goroutine carries the chain forward — its own shard's loop,
+			// then further active shards — exactly like a park without a
+			// resume (see Engine.runChain).
+			if sh := p.shard; sh.horizon > 0 {
+				if _, act := sh.runLoop(nil); act == loopDone {
+					e.runChain(sh)
+				}
+			} else {
+				p.shard.parked <- struct{}{}
+			}
 		}()
 		<-p.resume // wait for the scheduler to start us
 		if e.shutdown {
@@ -123,33 +159,86 @@ func (e *Engine) Spawn(name string, start Time, body func(*Proc)) *Proc {
 		}
 		body(p)
 	}()
-	e.atProc(start, p)
+	var ev *Event
+	if src == home {
+		ev = e.scheduleLocal(home, start)
+	} else {
+		ev = e.schedulePost(src, home, start)
+	}
+	ev.proc = p
 	return p
+}
+
+// Spawn creates a process on the current context shard (shard 0 for
+// setup, tests, and system events) that begins executing body at
+// virtual time start (which must not be in the past).
+func (e *Engine) Spawn(name string, start Time, body func(*Proc)) *Proc {
+	return e.spawn(e.ctx, e.ctx, name, start, body)
+}
+
+// SpawnOn creates a process homed on the given shard (growing the
+// shard table as needed). The MPI world homes each rank on its own
+// shard; shard 0 is reserved for system activity. It must be called
+// from a single-threaded phase (setup or a system event).
+func (e *Engine) SpawnOn(shardID int, name string, start Time, body func(*Proc)) *Proc {
+	if shardID < 0 {
+		panic("sim: SpawnOn with negative shard")
+	}
+	return e.spawn(e.ctx, e.shardFor(int32(shardID)), name, start, body)
 }
 
 // SpawnNow is Spawn starting at the current virtual time.
 func (e *Engine) SpawnNow(name string, body func(*Proc)) *Proc {
-	return e.Spawn(name, e.now, body)
+	return e.spawn(e.ctx, e.ctx, name, e.now, body)
 }
 
-// dispatch transfers control to p and blocks the scheduler until p
-// parks again (sleeps, suspends, or terminates).
-func (e *Engine) dispatch(p *Proc) {
+// SpawnNow creates a child process homed on p's own shard, starting at
+// p's current time. Mid-run spawns (worker threads) must go through
+// the parent so the child lands on the parent's shard in every mode.
+func (p *Proc) SpawnNow(name string, body func(*Proc)) *Proc {
+	return p.eng.spawn(p.shard, p.shard, name, p.now, body)
+}
+
+// dispatch transfers control to p at virtual time t and blocks the
+// driving goroutine until p parks again (sleeps, suspends, or
+// terminates).
+func (e *Engine) dispatch(p *Proc, t Time) {
 	if p.state == ProcDone {
 		panic("sim: dispatching terminated process " + p.Name)
 	}
 	p.state = ProcRunning
 	p.wake = nil
+	p.now = t
 	p.resume <- struct{}{}
-	<-e.parked
+	<-p.shard.parked
 }
 
-// park gives control back to the scheduler and blocks until resumed.
-// During Shutdown the resume is a termination order: park unwinds the
-// goroutine with a procExit panic so the caller's defers still run.
-func (p *Proc) park(s ProcState) {
-	p.state = s
-	p.eng.parked <- struct{}{}
+// park gives up control and blocks until resumed. Inside a window the
+// parking goroutine itself carries the shard's event loop forward
+// (chained handoff, see shard.runLoop): it either resumes inline when
+// its own wake is the shard's next event, hands control straight to
+// the next dispatched process, or — having exhausted the window —
+// signals the coordinator. Outside windows control returns to the
+// serial driver through the parked channel. During Shutdown the resume
+// is a termination order: park unwinds the goroutine with a procExit
+// panic so the caller's defers still run.
+func (p *Proc) park(state ProcState) {
+	p.state = state
+	sh := p.shard
+	if sh.horizon > 0 {
+		t, act := sh.runLoop(p)
+		switch act {
+		case loopSelf:
+			p.state = ProcRunning
+			p.wake = nil
+			p.now = t
+			return
+		case loopDone:
+			p.eng.runChain(sh)
+		}
+	} else {
+		sh.parked <- struct{}{}
+	}
 	<-p.resume
 	if p.eng.shutdown {
 		panic(procExit{})
@@ -165,12 +254,43 @@ func (p *Proc) Sleep(d time.Duration) {
 	}
 	d += p.penalty
 	p.penalty = 0
-	e := p.eng
-	e.rec.Count(CtrSleeps, 1)
-	if e.traceProcs && e.rec.Enabled() {
-		e.rec.Event(e.now, EvProcSleep, obs.Int("proc", int64(p.ID)), obs.Dur("dur_us", d))
+	p.sleepTo(p.now + d)
+}
+
+// SleepUntil parks the process until absolute time t without consuming
+// any tracing penalty: the raw wait the MPI collectives use for their
+// internal rendezvous, so that penalty is charged against program-order
+// sleeps only — an accounting that is independent of execution mode.
+func (p *Proc) SleepUntil(t Time) {
+	if t < p.now {
+		t = p.now
 	}
-	p.wake = e.atProc(e.now+d, p)
+	p.sleepTo(t)
+}
+
+func (p *Proc) sleepTo(t Time) {
+	s := p.shard
+	e := p.eng
+	s.sleeps++
+	if !e.inWindow && e.traceProcs && e.rec.Enabled() {
+		e.rec.Event(e.now, EvProcSleep, obs.Int("proc", int64(p.ID)), obs.Dur("dur_us", t-p.now))
+	}
+	// Windowed fast path: when the wake would be this shard's very next
+	// event and lands inside the current horizon, skip the heap and the
+	// goroutine handoff entirely — account for the phantom event and keep
+	// running. This is the batching that makes windows fast: a rank's
+	// compute/communicate cycle executes back-to-back on a hot stack
+	// instead of round-tripping through the scheduler per sleep.
+	if s.horizon > 0 && t < s.horizon && (len(s.queue) == 0 || keyBefore(t, s.id, s.seq, s.queue[0])) {
+		s.fired++
+		s.noteDepth(len(s.queue) + 1)
+		s.now = t
+		p.now = t
+		return
+	}
+	ev := e.scheduleLocal(s, t)
+	ev.proc = p
+	p.wake = ev
 	p.park(ProcSleeping)
 }
 
@@ -181,22 +301,89 @@ func (p *Proc) Suspend() {
 	p.park(ProcSuspended)
 }
 
-// Wake schedules a suspended process to resume at time t. It panics if
-// the process is not suspended: waking a sleeping or running process
-// would corrupt the handoff protocol, and indicates a logic error in
-// the caller (e.g. completing the same MPI request twice).
+// WakeAt schedules a suspended process to resume at time t, stamped by
+// the current context shard. It panics if the process is not suspended:
+// waking a sleeping or running process would corrupt the handoff
+// protocol, and indicates a logic error in the caller (e.g. completing
+// the same MPI request twice). It must be called from a single-threaded
+// phase; simulated processes waking each other use WakeAtLocal (same
+// shard) or WakePeerAt (cross-shard).
 func (p *Proc) WakeAt(t Time) {
 	if p.state != ProcSuspended {
 		panic(fmt.Sprintf("sim: WakeAt(%s) in state %s", p.Name, p.state))
 	}
-	e := p.eng
 	// Mark as sleeping-with-event so a second WakeAt panics.
 	p.state = ProcSleeping
-	p.wake = e.atProc(t, p)
+	ev := p.eng.scheduleCtx(t)
+	ev.proc = p
+	p.wake = ev
 }
 
-// Wake resumes a suspended process at the current virtual time.
+// WakeAtLocal schedules a suspended process to resume at time t with
+// its home shard's own counter stamp. The caller must be executing on
+// p's shard (e.g. a delivery event completing the receive it matches,
+// or a thread joining its sibling).
+func (p *Proc) WakeAtLocal(t Time) {
+	if p.state != ProcSuspended {
+		panic(fmt.Sprintf("sim: WakeAt(%s) in state %s", p.Name, p.state))
+	}
+	p.state = ProcSleeping
+	ev := p.eng.scheduleLocal(p.shard, t)
+	ev.proc = p
+	p.wake = ev
+}
+
+// WakePeerAt schedules suspended process q to resume at time t, from
+// p's execution context. The wake event carries q's canonical stamp
+// (home shard, shard-local id) rather than p's counter: the identity
+// of the process that happens to perform a cross-shard wake (say, the
+// last rank to arrive at a collective) depends on execution order, so
+// the event's queue position must be derived from the woken process
+// alone for serial and windowed runs to order it identically. In
+// windowed mode t must respect the engine's lookahead when q is on
+// another shard.
+//
+// In a multi-worker window a cross-shard target's state cannot be
+// touched from here: q registered itself (under the caller's lock) and
+// then parked on its own shard's goroutine, so its state word is still
+// in flight. The wake is routed through q's inbox and the
+// suspended→sleeping marking is deferred to the window barrier
+// (runWindow's drain), where all shard execution has quiesced.
+func (p *Proc) WakePeerAt(q *Proc, t Time) {
+	e := p.eng
+	if e.inWindow && e.workers > 1 && q.shard != p.shard {
+		e.scheduleWake(p.shard, q, t)
+		return
+	}
+	if q.state != ProcSuspended {
+		panic(fmt.Sprintf("sim: WakeAt(%s) in state %s", q.Name, q.state))
+	}
+	q.state = ProcSleeping
+	q.wake = e.scheduleWake(p.shard, q, t)
+}
+
+// Wake resumes a suspended process at the current virtual time (see
+// WakeAt for the context contract).
 func (p *Proc) Wake() { p.WakeAt(p.eng.now) }
+
+// WakeAllAt schedules every process in procs to resume at time t from
+// p's execution context; see Engine.WakeAllAt for ordering and slice
+// ownership.
+func (p *Proc) WakeAllAt(t Time, procs []*Proc) {
+	p.eng.wakeAll(p.shard, t, procs)
+}
+
+// Post schedules a payload callback at time t on dst's home shard,
+// stamped by p's shard: the deterministic cross-shard message the MPI
+// layer uses to deliver sends at their arrival time. fn should be a
+// shared method value (not a fresh closure) so posting stays
+// allocation-free; it receives the event's time and arg.
+func (p *Proc) Post(dst *Proc, t Time, fn func(Time, any), arg any) *Event {
+	ev := p.eng.schedulePost(p.shard, dst.shard, t)
+	ev.pfn = fn
+	ev.parg = arg
+	return ev
+}
 
 // ChargePenalty steals d of virtual time from the process: its next
 // Sleep will take d longer. Used to model the cost of an external

@@ -26,8 +26,10 @@ func grid2D(p int) (rows, cols int) {
 func (p Params) chunk(r *mpi.Rank, frac float64) time.Duration {
 	d := float64(p.Compute) * frac
 	if p.Skew > 0 {
-		rng := r.World().Engine().Rand()
-		d *= 1 + p.Skew*(2*rng.Float64()-1)
+		// Rank-local stream: chunk draws happen in rank execution
+		// context, so a shared stream would make the sequence depend on
+		// scheduling order (serial vs. windowed parallel).
+		d *= 1 + p.Skew*(2*r.Rand().Float64()-1)
 	}
 	return time.Duration(d)
 }
